@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper figure (or one ablation) and prints
+the series it produced, so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction report generator.  Experiments are
+deterministic, so a single round measures honest wall-clock cost without
+re-running multi-second simulations dozens of times.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and return it."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""ABL-PC — power control on/off vs cell capacity.
+
+"Modality transformation at the base-station is one way of increasing
+the number of clients that can be accommodated" — and so is power
+control.  This ablation measures how many clients a cell can serve at a
+given SIR target with (a) fixed equal powers vs (b) Foschini–Miljanic
+target tracking, plus the convergence cost of the iteration.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.wireless.channel import NoiseModel, PathLossModel
+from repro.wireless.powercontrol import feasible_targets, foschini_miljanic
+from repro.wireless.sir import sir_db
+
+TARGET_DB = -8.0  # text+sketch-capable service level for everyone
+PATHLOSS = PathLossModel(alpha=4.0, k=1e6)
+SIGMA2 = NoiseModel(reference_power=1.0, snr_ref_db=40.0).sigma2
+
+
+def ring_gains(n, d_min=40.0, d_max=120.0):
+    """n clients spread over distances d_min..d_max."""
+    distances = np.linspace(d_min, d_max, n)
+    return np.asarray(PATHLOSS.gain(distances))
+
+
+def capacity_fixed_power():
+    """Largest n where equal unit powers meet TARGET_DB for everyone."""
+    n = 1
+    while n < 50:
+        gains = ring_gains(n + 1)
+        if np.min(sir_db(np.ones(n + 1), gains, SIGMA2)) < TARGET_DB:
+            break
+        n += 1
+    return n
+
+
+def capacity_power_controlled():
+    """Largest n where FM power control meets TARGET_DB for everyone."""
+    n = 1
+    while n < 50:
+        gains = ring_gains(n + 1)
+        targets = np.full(n + 1, TARGET_DB)
+        if not feasible_targets(gains, targets, SIGMA2):
+            break
+        res = foschini_miljanic(gains, targets, SIGMA2, max_power=10.0)
+        if not res.converged:
+            break
+        n += 1
+    return n
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_power_control_extends_capacity(benchmark):
+    def both():
+        return capacity_fixed_power(), capacity_power_controlled()
+
+    fixed, controlled = run_once(benchmark, both)
+    print(f"\ncell capacity at {TARGET_DB} dB target: fixed={fixed}, power-controlled={controlled}")
+    assert controlled >= fixed  # control never hurts
+    assert controlled > fixed   # and actually helps for spread-out clients
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_fm_convergence_speed(benchmark):
+    """Iterations to converge a 5-client cell (distributed algorithm cost)."""
+    gains = ring_gains(5)
+    targets = np.full(5, TARGET_DB)
+    assert feasible_targets(gains, targets, SIGMA2)
+
+    res = benchmark(lambda: foschini_miljanic(gains, targets, SIGMA2, max_power=10.0))
+    assert res.converged
+    assert res.iterations < 100
+    print(f"\nFM converged in {res.iterations} iterations")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_power_control_saves_energy(benchmark):
+    """Controlled powers sum well below the fixed-power budget."""
+    gains = ring_gains(5)
+    targets = np.full(5, TARGET_DB)
+
+    res = run_once(
+        benchmark, foschini_miljanic, gains, targets, SIGMA2, None, 10.0
+    )
+    fixed_total = 5 * 1.0
+    controlled_total = float(res.powers.sum())
+    print(f"\ntotal power: fixed={fixed_total:.2f}, controlled={controlled_total:.3f}")
+    assert controlled_total < fixed_total

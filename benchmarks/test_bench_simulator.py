@@ -1,0 +1,71 @@
+"""ABL-SIM — discrete-event substrate throughput.
+
+The experiments run entire collaboration sessions inside the simulator,
+so its event and packet throughput bound every study's wall-clock cost.
+"""
+
+import pytest
+
+from repro.network.clock import Scheduler
+from repro.network.simnet import Network, Packet
+from repro.network.udp import DatagramSocket
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_scheduler_event_throughput(benchmark):
+    """Dispatch rate of bare scheduler events."""
+
+    def run():
+        sched = Scheduler()
+        count = 10_000
+        for i in range(count):
+            sched.call_after(i * 1e-6, lambda: None)
+        return sched.run()
+
+    dispatched = benchmark(run)
+    assert dispatched == 10_000
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_packet_delivery_throughput(benchmark):
+    """End-to-end datagram rate through a 3-hop path."""
+
+    def run():
+        sched = Scheduler()
+        net = Network(sched, seed=0)
+        for n in ("a", "r1", "r2", "b"):
+            net.add_node(n)
+        net.add_link("a", "r1", bandwidth=1e9)
+        net.add_link("r1", "r2", bandwidth=1e9)
+        net.add_link("r2", "b", bandwidth=1e9)
+        got = []
+        net.node("b").bind(9, lambda p: got.append(None))
+        sock = DatagramSocket(net, "a")
+        for _ in range(2_000):
+            sock.sendto(b"x" * 100, ("b", 9))
+        sched.run()
+        return len(got)
+
+    delivered = benchmark(run)
+    assert delivered == 2_000
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_full_session_event_cost(benchmark):
+    """A whole chat-heavy session: 2 clients, 200 chat lines."""
+    from repro.core.framework import CollaborationFramework
+
+    def run():
+        fw = CollaborationFramework("perf")
+        a = fw.add_wired_client("alice")
+        b = fw.add_wired_client("bob")
+        a.join()
+        b.join()
+        fw.run_for(0.2)
+        for i in range(200):
+            (a if i % 2 == 0 else b).send_chat(f"line {i}")
+        fw.run_for(5.0)
+        return len(a.chat.lines), len(b.chat.lines)
+
+    la, lb = benchmark(run)
+    assert la == 200 and lb == 200

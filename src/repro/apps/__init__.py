@@ -1,0 +1,7 @@
+"""Headless collaboration applications: chat area, whiteboard, image viewer."""
+
+from .chat import ChatArea, ChatLine
+from .whiteboard import Whiteboard
+from .imageviewer import ImageViewer, ViewedImage
+
+__all__ = ["ChatArea", "ChatLine", "Whiteboard", "ImageViewer", "ViewedImage"]

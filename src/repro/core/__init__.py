@@ -1,0 +1,135 @@
+"""The paper's primary contribution: the adaptive QoS collaboration framework.
+
+Semantic profiles and selectors, receiver-side interpretation, QoS
+contracts, the policy-driven inference engine, wired clients, the base
+station / wireless extension, and the deployment facade.
+"""
+
+from .attributes import MISSING, coerce_value, values_equal
+from .selectors import Selector, SelectorError, TRUE_SELECTOR, parse
+from .profiles import ClientProfile, ProfileError, TransformRule
+from .matching import Decision, MatchResult, interpret, match_selector
+from .contracts import Constraint, ContractError, ContractViolation, QoSContract
+from .policies import (
+    ModalityTier,
+    PolicyDatabase,
+    PolicyError,
+    SirTierPolicy,
+    StepPolicy,
+    default_bandwidth_policy,
+    default_cpu_load_policy,
+    default_page_fault_policy,
+    default_policy_database,
+    default_sir_tier_policy,
+)
+from .inference import AdaptationDecision, InferenceEngine
+from .netstate import NetworkStateInterface, Probe
+from .events import (
+    ChatEvent,
+    HistoryRequest,
+    ImageRepairRequest,
+    LockGrantEvent,
+    LockReleaseEvent,
+    LockRequestEvent,
+    Event,
+    EventError,
+    ImagePacketEvent,
+    ImageShareAnnounce,
+    JoinEvent,
+    LeaveEvent,
+    PowerControlRequest,
+    ProfileUpdateEvent,
+    SketchShareEvent,
+    SpeechShareEvent,
+    TextShareEvent,
+    WhiteboardEvent,
+    decode_event,
+)
+from .state import StateEntry, StateRepository
+from .concurrency import Arbiter, Conflict, LockError, LockManager
+from .session import Membership, SessionArchive, SessionDescriptor
+from .discovery import DiscoveryError, SearchHit, SessionDirectory
+from .client import WiredClient
+from .wireless_client import UnicastSemanticLink, WirelessClient
+from .basestation import Attachment, BaseStation, QosSnapshot
+from .handoff import HandoffEvent, HandoffManager, Position
+from .framework import CollaborationFramework
+from .telemetry import deployment_report, format_report
+
+__all__ = [
+    "MISSING",
+    "coerce_value",
+    "values_equal",
+    "Selector",
+    "SelectorError",
+    "TRUE_SELECTOR",
+    "parse",
+    "ClientProfile",
+    "ProfileError",
+    "TransformRule",
+    "Decision",
+    "MatchResult",
+    "interpret",
+    "match_selector",
+    "Constraint",
+    "ContractError",
+    "ContractViolation",
+    "QoSContract",
+    "ModalityTier",
+    "PolicyDatabase",
+    "PolicyError",
+    "SirTierPolicy",
+    "StepPolicy",
+    "default_bandwidth_policy",
+    "default_cpu_load_policy",
+    "default_page_fault_policy",
+    "default_policy_database",
+    "default_sir_tier_policy",
+    "AdaptationDecision",
+    "InferenceEngine",
+    "NetworkStateInterface",
+    "Probe",
+    "ChatEvent",
+    "HistoryRequest",
+    "ImageRepairRequest",
+    "LockGrantEvent",
+    "LockReleaseEvent",
+    "LockRequestEvent",
+    "Event",
+    "EventError",
+    "ImagePacketEvent",
+    "ImageShareAnnounce",
+    "JoinEvent",
+    "LeaveEvent",
+    "PowerControlRequest",
+    "ProfileUpdateEvent",
+    "SketchShareEvent",
+    "SpeechShareEvent",
+    "TextShareEvent",
+    "WhiteboardEvent",
+    "decode_event",
+    "StateEntry",
+    "StateRepository",
+    "Arbiter",
+    "Conflict",
+    "LockError",
+    "LockManager",
+    "Membership",
+    "SessionArchive",
+    "SessionDescriptor",
+    "DiscoveryError",
+    "SearchHit",
+    "SessionDirectory",
+    "WiredClient",
+    "UnicastSemanticLink",
+    "WirelessClient",
+    "Attachment",
+    "BaseStation",
+    "QosSnapshot",
+    "HandoffEvent",
+    "HandoffManager",
+    "Position",
+    "CollaborationFramework",
+    "deployment_report",
+    "format_report",
+]

@@ -1,0 +1,75 @@
+"""Attribute values for semantic profiles and selectors.
+
+Profiles and message headers are flat attribute maps: name → value, where
+a value is a string, number, boolean, or a list of those (capability
+sets).  Comparisons against an *absent* attribute never match — the
+paper's semantic interpretation rejects on any unsatisfied clause — which
+we encode with the :data:`MISSING` sentinel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Union
+
+__all__ = ["MISSING", "AttributeValue", "AttributeMap", "coerce_value", "values_equal"]
+
+
+class _Missing:
+    """Sentinel for an attribute absent from a profile/header map."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<MISSING>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISSING = _Missing()
+
+AttributeValue = Union[str, int, float, bool, list, tuple]
+AttributeMap = Mapping[str, AttributeValue]
+
+
+def coerce_value(value: Any) -> AttributeValue:
+    """Normalise a user-supplied attribute value.
+
+    Tuples become lists; nested containers are rejected (profiles are
+    flat); other types must already be scalars.
+    """
+    if isinstance(value, bool) or isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        out = []
+        for item in value:
+            if isinstance(item, (list, tuple, dict)):
+                raise TypeError(f"nested containers not allowed in attributes: {value!r}")
+            out.append(item)
+        return out
+    raise TypeError(f"unsupported attribute value type: {type(value).__name__}")
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Equality with numeric cross-type tolerance but no str/number mixing.
+
+    ``1 == 1.0`` holds; ``"1" == 1`` does not — silently matching across
+    types would make selector bugs undetectable.
+    """
+    if a is MISSING or b is MISSING:
+        return False
+    a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+    if a_num and b_num:
+        return float(a) == float(b)
+    if type(a) is not type(b):
+        # allow list/tuple equivalence
+        if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+            return list(a) == list(b)
+        return False
+    return a == b

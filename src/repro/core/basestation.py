@@ -1,0 +1,575 @@
+"""Base station: wireless gateway, control coordinator, QoS manager.
+
+"The base station functions as the control coordinator while maintaining
+the wireless client state ... maintains a profile depending on distance,
+signal strength at base station, transmitting rate, and capability of the
+client ... links the wireless network to the rest of the distributed
+collaborative session by joining the multicast session" (paper Sec. 4.2).
+
+Responsibilities implemented here:
+
+* **attachment registry** — per-wireless-client channel state (distance,
+  tx power, battery) and delivery address;
+* **SIR evaluation** — vectorized Eq. (1) over all attached clients,
+  with per-client modality-tier selection via the policy database;
+* **downlink gating** — session traffic is forwarded to each wireless
+  client in the richest modality its tier supports (full image /
+  text+sketch / text / nothing), transforming content centrally;
+* **uplink gating** — a wireless client's contribution is forwarded to
+  the session in the modality its *own* uplink SIR supports ("even in a
+  low throughput network condition, the BS is able to send certain
+  modality of information from a wireless client to the collaboration
+  network");
+* **power control** — clients whose SIR exceeds the image threshold by a
+  margin are asked to reduce power (battery + interference relief).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..apps.imageviewer import ImageViewer
+from ..media.describe import describe_image
+from ..media.sketch import extract_sketch
+from ..messaging.broker import Delivery
+from ..messaging.message import SemanticMessage
+from ..messaging.rtp import RtpPacketizer, RtpReassembler
+from ..messaging.serialization import decode_message, encode_message
+from ..messaging.transport import SemanticEndpoint
+from ..network.multicast import MulticastGroup
+from ..network.simnet import Network
+from ..network.udp import DatagramSocket
+from ..wireless.channel import NoiseModel, PathLossModel
+from ..wireless.sir import sir_db as compute_sir_db
+from .events import (
+    Event,
+    ImagePacketEvent,
+    ImageShareAnnounce,
+    JoinEvent,
+    LeaveEvent,
+    PowerControlRequest,
+    ProfileUpdateEvent,
+    SketchShareEvent,
+    SpeechShareEvent,
+    TextShareEvent,
+    decode_event,
+)
+from .policies import ModalityTier, PolicyDatabase, default_policy_database
+from .profiles import ClientProfile
+from .session import SessionDescriptor
+
+__all__ = ["Attachment", "QosSnapshot", "BaseStation"]
+
+#: Well-known port wireless clients send to on the BS node.
+WIRELESS_PORT = 5100
+
+
+@dataclass
+class Attachment:
+    """BS-side record of one wireless client."""
+
+    client_id: str
+    address: tuple[str, int]
+    distance: float
+    tx_power: float
+    battery: float = 100.0
+    joined_at: float = 0.0
+    sir_db: float = float("nan")
+    tier: ModalityTier = ModalityTier.NOTHING
+    #: uplink images in flight: image_id -> viewer-side assembly
+    profile_attrs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class QosSnapshot:
+    """One evaluation instant across all attached clients (FIG8–10 rows)."""
+
+    time: float
+    client_ids: tuple[str, ...]
+    distances: tuple[float, ...]
+    powers: tuple[float, ...]
+    sir_db: tuple[float, ...]
+    tiers: tuple[ModalityTier, ...]
+
+    def for_client(self, client_id: str) -> tuple[float, ModalityTier]:
+        """(sir_db, tier) of one client in this snapshot."""
+        idx = self.client_ids.index(client_id)
+        return self.sir_db[idx], self.tiers[idx]
+
+
+class BaseStation:
+    """The wireless extension's gateway peer.
+
+    Parameters
+    ----------
+    name:
+        BS id == its network node name.
+    network / group / session:
+        The collaboration session's fabric; the BS joins as a peer.
+    pathloss / noise:
+        Channel models for SIR evaluation (defaults: exponent-4 power law,
+        noise tied to unit reference power — see DESIGN.md).
+    policies:
+        Tier thresholds (and anything else) come from here.
+    power_margin_db:
+        Excess over the image threshold that triggers a power-down
+        request (paper's 7 dB vs 4 dB example → margin 3 dB).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        group: MulticastGroup,
+        session: SessionDescriptor,
+        pathloss: Optional[PathLossModel] = None,
+        noise: Optional[NoiseModel] = None,
+        policies: Optional[PolicyDatabase] = None,
+        power_margin_db: float = 3.0,
+        min_power: float = 0.05,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.scheduler = network.scheduler
+        self.session = session
+        self.pathloss = pathloss if pathloss is not None else PathLossModel(alpha=4.0, k=1e6)
+        self.noise = noise if noise is not None else NoiseModel(reference_power=1.0, snr_ref_db=40.0)
+        self.policies = policies if policies is not None else default_policy_database()
+        self.power_margin_db = power_margin_db
+        self.min_power = min_power
+
+        self.profile = ClientProfile(
+            name, {"session": session.name, "role": "base-station", "client_id": name}
+        )
+        self.endpoint = SemanticEndpoint(
+            network, name, group, self.profile, self._on_session_delivery
+        )
+        # wireless-side socket + RTP
+        self._wsock = DatagramSocket(network, name)
+        self._wsock.bind(WIRELESS_PORT)
+        self._wsock.on_receive = lambda data, src: self._wreassembler.ingest(data)
+        import zlib
+
+        self._wpacketizer = RtpPacketizer(zlib.crc32(f"{name}:bs".encode()) & 0xFFFFFFFF)
+        self._wreassembler = RtpReassembler(self._on_wireless_payload)
+
+        self.attachments: dict[str, Attachment] = {}
+        #: when true, each QoS evaluation writes SIR-derived loss onto the
+        #: client's radio link (see repro.wireless.linkquality)
+        self.channel_coupling = False
+        self._coupling_packet_bits = 8000
+        self.qos_history: list[QosSnapshot] = []
+        self.power_requests_sent: list[tuple[float, str, float]] = []
+        # BS keeps a full-budget viewer to reconstruct shared images for
+        # centralized transformation (sketch tier)
+        self.viewer = ImageViewer(name, n_packets=16, target_bpp=None)
+        self._sketched: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # attachment management
+    # ------------------------------------------------------------------
+    @property
+    def wireless_address(self) -> tuple[str, int]:
+        """Where wireless clients unicast to."""
+        return (self.name, WIRELESS_PORT)
+
+    def assess_admission(
+        self, distance: float, tx_power: float, min_tier: ModalityTier = ModalityTier.TEXT_ONLY
+    ) -> tuple[bool, float, ModalityTier]:
+        """The paper's "basic service assessment": would a client at
+        ``distance`` with ``tx_power`` get at least ``min_tier`` service,
+        given the currently attached interferers?
+
+        Returns ``(admissible, predicted_sir_db, predicted_tier)``.  Also
+        the BS's "decision-making for the minimum device specifications
+        required for the collaboration": callers can sweep ``tx_power``
+        to find the weakest device that still meets ``min_tier``.
+        """
+        if distance <= 0 or tx_power <= 0:
+            raise ValueError("distance and tx_power must be positive")
+        gain = float(self.pathloss.gain(distance))
+        received = tx_power * gain
+        interference = sum(
+            att.tx_power * float(self.pathloss.gain(att.distance))
+            for att in self.attachments.values()
+        )
+        sir = received / (interference + self.noise.sigma2)
+        sir_db = 10.0 * np.log10(sir)
+        tier = self.policies.decide_tier(sir_db)
+        return tier >= min_tier, float(sir_db), tier
+
+    def attach(
+        self,
+        client_id: str,
+        address: tuple[str, int],
+        distance: float,
+        tx_power: float,
+        battery: float = 100.0,
+        min_tier: Optional[ModalityTier] = None,
+    ) -> Attachment:
+        """Register a wireless client (its connection establishment).
+
+        When ``min_tier`` is given, admission control runs first: the
+        client is refused (``ValueError``) if the predicted service —
+        against the current interference environment — falls below its
+        required tier.  Returns the attachment record; the first
+        :meth:`evaluate_qos` snapshot after this is the paper's "basic
+        service assessment".
+        """
+        if distance <= 0 or tx_power <= 0:
+            raise ValueError("distance and tx_power must be positive")
+        if min_tier is not None:
+            ok, sir_db, tier = self.assess_admission(distance, tx_power, min_tier)
+            if not ok:
+                raise ValueError(
+                    f"admission refused for {client_id!r}: predicted"
+                    f" {sir_db:.1f} dB -> {tier.name} < required {min_tier.name}"
+                )
+        att = Attachment(
+            client_id=client_id,
+            address=address,
+            distance=float(distance),
+            tx_power=float(tx_power),
+            battery=battery,
+            joined_at=self.scheduler.clock.now,
+        )
+        self.attachments[client_id] = att
+        return att
+
+    def minimum_power_for(
+        self,
+        distance: float,
+        min_tier: ModalityTier = ModalityTier.TEXT_ONLY,
+        max_power: float = 10.0,
+        tolerance: float = 1e-3,
+    ) -> Optional[float]:
+        """Smallest transmit power meeting ``min_tier`` at ``distance``.
+
+        Binary search over :meth:`assess_admission`; None when even
+        ``max_power`` does not suffice (the device cannot participate —
+        the "minimum device specification" is above its capability).
+        """
+        ok, _, _ = self.assess_admission(distance, max_power, min_tier)
+        if not ok:
+            return None
+        lo, hi = tolerance, max_power
+        while hi - lo > tolerance:
+            mid = (lo + hi) / 2.0
+            ok, _, _ = self.assess_admission(distance, mid, min_tier)
+            if ok:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def detach(self, client_id: str) -> None:
+        """Remove a wireless client (left the session / out of range)."""
+        self.attachments.pop(client_id, None)
+
+    def update_attachment(
+        self,
+        client_id: str,
+        distance: Optional[float] = None,
+        tx_power: Optional[float] = None,
+        battery: Optional[float] = None,
+    ) -> None:
+        """Experiment/control-plane hook to mutate channel state."""
+        att = self.attachments[client_id]
+        if distance is not None:
+            att.distance = float(distance)
+        if tx_power is not None:
+            att.tx_power = float(tx_power)
+        if battery is not None:
+            att.battery = float(battery)
+
+    # ------------------------------------------------------------------
+    # QoS evaluation (Eq. 1 + tier policy)
+    # ------------------------------------------------------------------
+    def evaluate_qos(self) -> QosSnapshot:
+        """Compute every client's SIR and tier; record the snapshot."""
+        ids = tuple(sorted(self.attachments))
+        if not ids:
+            snap = QosSnapshot(self.scheduler.clock.now, (), (), (), (), ())
+            self.qos_history.append(snap)
+            return snap
+        distances = np.array([self.attachments[c].distance for c in ids])
+        powers = np.array([self.attachments[c].tx_power for c in ids])
+        gains = self.pathloss.gain(distances)
+        if len(ids) == 1:
+            # single client: SNR against receiver noise only
+            sirs = 10.0 * np.log10(powers * gains / self.noise.sigma2)
+        else:
+            sirs = compute_sir_db(powers, np.asarray(gains), self.noise.sigma2)
+        tiers = tuple(self.policies.decide_tier(float(s)) for s in sirs)
+        for cid, s, t in zip(ids, sirs, tiers):
+            self.attachments[cid].sir_db = float(s)
+            self.attachments[cid].tier = t
+        snap = QosSnapshot(
+            time=self.scheduler.clock.now,
+            client_ids=ids,
+            distances=tuple(float(d) for d in distances),
+            powers=tuple(float(p) for p in powers),
+            sir_db=tuple(float(s) for s in sirs),
+            tiers=tiers,
+        )
+        self.qos_history.append(snap)
+        if self.channel_coupling:
+            self._apply_channel_coupling(snap)
+        return snap
+
+    def couple_channel(self, packet_bits: int = 8000) -> None:
+        """Tie each radio link's loss rate to the client's live SIR.
+
+        After this, every :meth:`evaluate_qos` maps SIR → BER → packet
+        loss (non-coherent FSK model) onto the client↔BS link, so low-SIR
+        clients physically lose fragments in addition to being tier-gated.
+        """
+        self.channel_coupling = True
+        self._coupling_packet_bits = packet_bits
+        if self.qos_history:
+            self._apply_channel_coupling(self.qos_history[-1])
+
+    def _apply_channel_coupling(self, snap: QosSnapshot) -> None:
+        """Write SIR-derived, size-dependent loss onto each radio link.
+
+        Small frames (≤ ``ROBUST_FRAME_BYTES``) are modelled at the robust
+        base rate — 802.11b-style rate fallback buys them ~10 dB of
+        processing gain — so text/control renditions survive channels
+        where bulk image fragments die.  ``link.loss`` is also set to the
+        data-frame value for observability.
+        """
+        from ..network.simnet import NetworkError
+        from ..wireless.linkquality import loss_for_sir_db
+
+        ROBUST_FRAME_BYTES = 500
+        for cid, s in zip(snap.client_ids, snap.sir_db):
+            try:
+                link = self.network.link(self.name, cid)
+            except NetworkError:
+                continue  # relayed/multi-hop client: no direct radio link
+            data_loss = float(loss_for_sir_db(s, self._coupling_packet_bits))
+            link.loss = data_loss
+
+            def loss_fn(size: int, sir: float = s) -> float:
+                gain = 20.0 if size <= ROBUST_FRAME_BYTES else 10.0
+                return float(
+                    loss_for_sir_db(sir, packet_bits=8 * size, coding_gain_db=gain)
+                )
+
+            link.loss_fn = loss_fn
+
+    def apply_power_control(self) -> list[PowerControlRequest]:
+        """Ask over-powered clients to transmit lower (battery + SIR).
+
+        A client whose SIR exceeds the image threshold by more than
+        ``power_margin_db`` is asked to scale power down to the level
+        that would sit at threshold+margin (clamped to ``min_power``).
+        """
+        snap = self.evaluate_qos()
+        requests: list[PowerControlRequest] = []
+        threshold = self.policies.sir_policy.image_db + self.power_margin_db
+        for cid, s in zip(snap.client_ids, snap.sir_db):
+            if s > threshold:
+                att = self.attachments[cid]
+                # lowering P_i lowers own SIR ~linearly (interference from
+                # others fixed); scale to land at the threshold
+                scale = 10.0 ** ((threshold - s) / 10.0)
+                new_power = max(self.min_power, att.tx_power * scale)
+                if new_power < att.tx_power * 0.999:
+                    req = PowerControlRequest(
+                        client_id=cid,
+                        new_power=new_power,
+                        reason=f"sir {s:.1f} dB above {threshold:.1f} dB target",
+                    )
+                    self._unicast_event(req, att.address)
+                    self.power_requests_sent.append((snap.time, cid, new_power))
+                    requests.append(req)
+        return requests
+
+    # ------------------------------------------------------------------
+    # downlink: session → wireless clients, tier-gated
+    # ------------------------------------------------------------------
+    def _unicast_event(self, event: Event, dest: tuple[str, int]) -> None:
+        msg = SemanticMessage.create(
+            sender=self.name,
+            selector="true",
+            headers=event.headers(),
+            body=event.to_body(),
+            kind=event.kind,
+        )
+        for frag in self._wpacketizer.packetize(encode_message(msg)):
+            self._wsock.sendto(frag.encode(), dest)
+
+    def _text_event_for(self, att: Attachment, ref_id: str, text: str) -> Event:
+        """Text rendition, honouring a client's speech preference.
+
+        "Incoming textual information can be transformed into speech if
+        the profile specifies that the client has chosen speech as the
+        preferred modality" (paper Sec. 5.2) — the transformation runs
+        *centrally*, at the BS, sparing the thin device the work.
+        """
+        if att.profile_attrs.get("modality") == "speech":
+            from ..media.speech import quantize_u8, text_to_speech
+
+            clip = text_to_speech(text)
+            return SpeechShareEvent(
+                ref_id=ref_id,
+                sample_rate=clip.sample_rate,
+                samples_u8=quantize_u8(clip),
+            )
+        return TextShareEvent(ref_id=ref_id, text=text)
+
+    def _forward_downlink(self, event: Event, exclude: Optional[str] = None) -> None:
+        """Deliver one session event to each attachment per its tier."""
+        for cid, att in sorted(self.attachments.items()):
+            if cid == exclude:
+                continue
+            tier = att.tier
+            if tier is ModalityTier.NOTHING:
+                continue
+            if isinstance(event, ImageShareAnnounce):
+                if tier is ModalityTier.FULL_IMAGE:
+                    self._unicast_event(event, att.address)
+                else:  # both degraded tiers get the verbal description
+                    self._unicast_event(
+                        self._text_event_for(att, event.image_id, event.description),
+                        att.address,
+                    )
+            elif isinstance(event, ImagePacketEvent):
+                if tier is ModalityTier.FULL_IMAGE:
+                    self._unicast_event(event, att.address)
+                # sketch tier is served when the image completes (below)
+            elif isinstance(event, SketchShareEvent):
+                if tier is not ModalityTier.TEXT_ONLY:
+                    self._unicast_event(event, att.address)
+            elif isinstance(event, TextShareEvent):
+                self._unicast_event(
+                    self._text_event_for(att, event.ref_id, event.text), att.address
+                )
+            else:
+                # chat, whiteboard, membership: cheap, all tiers
+                self._unicast_event(event, att.address)
+
+    def _maybe_send_sketch(self, image_id: str) -> None:
+        """Once the BS has the full image, serve sketch-tier clients."""
+        if image_id in self._sketched:
+            return
+        view = self.viewer.viewed.get(image_id)
+        if view is None or view.assembly.usable_prefix < view.announce.n_packets:
+            return
+        self._sketched.add(image_id)
+        recon = self.viewer.reconstruct(image_id)
+        sketch = extract_sketch(recon)
+        event = SketchShareEvent(
+            ref_id=image_id,
+            sketch_h=sketch.shape[0],
+            sketch_w=sketch.shape[1],
+            encoded=sketch.encoded,
+        )
+        for cid, att in sorted(self.attachments.items()):
+            if att.tier is ModalityTier.TEXT_AND_SKETCH:
+                self._unicast_event(event, att.address)
+
+    def _on_session_delivery(self, delivery: Delivery) -> None:
+        """A multicast session event arrived at the BS peer."""
+        msg = delivery.message
+        try:
+            event = decode_event(msg.kind, msg.body)
+        except Exception:
+            return
+        # keep the BS's own replica of shared images (for central transforms)
+        if isinstance(event, ImageShareAnnounce):
+            self.viewer.on_announce(event)
+        elif isinstance(event, ImagePacketEvent):
+            self.viewer.on_packet(event)
+            self._maybe_send_sketch(event.image_id)
+        self._forward_downlink(event)
+
+    # ------------------------------------------------------------------
+    # uplink: wireless client → session, gated by the sender's SIR tier
+    # ------------------------------------------------------------------
+    def _on_wireless_payload(self, ssrc: int, payload: bytes) -> None:
+        msg = decode_message(payload)
+        try:
+            event = decode_event(msg.kind, msg.body)
+        except Exception:
+            return
+        sender = msg.sender
+        if isinstance(event, ProfileUpdateEvent):
+            self._handle_channel_report(event)
+            return
+        att = self.attachments.get(sender)
+        if att is None:
+            return  # not attached: drop (no service assessment yet)
+        self.evaluate_qos()
+        tier = self.attachments[sender].tier
+        forwarded = self._gate_uplink(event, tier)
+        for fevent in forwarded:
+            # multicast to the wired session ...
+            out = SemanticMessage.create(
+                sender=sender,
+                selector=self.session.selector_text(),
+                headers=fevent.headers(),
+                body=fevent.to_body(),
+                kind=fevent.kind,
+            )
+            self.endpoint.publish(out)
+            # ... and unicast to the other wireless clients per their tiers
+            self._forward_downlink(fevent, exclude=sender)
+
+    def _gate_uplink(self, event: Event, tier: ModalityTier) -> list[Event]:
+        """What of a client's contribution its uplink SIR lets through."""
+        if tier is ModalityTier.NOTHING:
+            return []
+        if isinstance(event, ImageShareAnnounce):
+            if tier is ModalityTier.FULL_IMAGE:
+                self.viewer.on_announce(event)  # track for sketch service
+                return [event]
+            # degraded uplink: the text description always fits
+            return [TextShareEvent(ref_id=event.image_id, text=event.description)]
+        if isinstance(event, ImagePacketEvent):
+            if tier is ModalityTier.FULL_IMAGE:
+                self.viewer.on_packet(event)
+                self._maybe_send_sketch(event.image_id)
+                return [event]
+            if tier is ModalityTier.TEXT_AND_SKETCH and event.packet_index == 0:
+                # "If the BS receives the base image packet at SIR above
+                # threshold for [sketch], it will send out [that tier]":
+                # the first packet is the base-image layer; forward it as
+                # a coarse rendition marker (full sketch follows when the
+                # BS can reconstruct one).
+                return [event]
+            return []
+        return [event]  # text/chat/whiteboard pass at any usable tier
+
+    def _handle_channel_report(self, event: ProfileUpdateEvent) -> None:
+        att = self.attachments.get(event.client_id)
+        if att is None:
+            return
+        changes = dict(event.changes)
+        if "distance" in changes:
+            att.distance = float(changes["distance"])
+        if "tx_power" in changes:
+            att.tx_power = float(changes["tx_power"])
+        if "battery" in changes:
+            att.battery = float(changes["battery"])
+        att.profile_attrs.update(changes)
+
+    # ------------------------------------------------------------------
+    def start_qos_loop(self, interval: float = 0.5, power_control: bool = False) -> None:
+        """Periodic SIR evaluation (and optional power control)."""
+
+        def tick() -> None:
+            if power_control:
+                self.apply_power_control()
+            else:
+                self.evaluate_qos()
+            self.scheduler.call_after(interval, tick)
+
+        self.scheduler.call_after(interval, tick)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BaseStation({self.name!r}, attached={sorted(self.attachments)})"

@@ -1,0 +1,148 @@
+"""Session discovery: publish and find collaboration objectives.
+
+"Peer-to-peer applications used for file sharing and instant messaging
+utilize their underlying peer discovery mechanisms to dynamically
+create, publish and discover new objectives or topics of interests"
+(paper Sec. 2).  A :class:`SessionDirectory` is that mechanism: sessions
+register their descriptors; prospective members search by objective
+keywords and required result space, ranked by relevance; and when a
+match is too coarse ("a person interested in purchasing modems would
+find [a] computer peripherals group to be of coarse granularity") the
+directory can *refine* — spawn a narrower session descriptor linked to
+its parent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .session import SessionDescriptor
+
+__all__ = ["SessionDirectory", "SearchHit", "DiscoveryError"]
+
+
+class DiscoveryError(ValueError):
+    """Raised on invalid directory operations."""
+
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def _tokens(text: str) -> set[str]:
+    return set(_TOKEN_RE.findall(text.lower()))
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked directory match."""
+
+    descriptor: SessionDescriptor
+    score: float
+    matched_tokens: tuple[str, ...]
+
+
+class SessionDirectory:
+    """A registry of discoverable collaboration sessions.
+
+    Relevance is token overlap between the query and the session's
+    objective (Jaccard-flavoured: matched / query size), with a bonus
+    when the session's name itself matches.  Sessions lacking a required
+    sharing capability are excluded outright — "based on the final
+    objective and required results a member joins the appropriate
+    collaborating session".
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, SessionDescriptor] = {}
+        self._parents: dict[str, str] = {}  # refined -> parent name
+
+    # ------------------------------------------------------------------
+    def publish(self, descriptor: SessionDescriptor) -> None:
+        """Register (or re-register) a session."""
+        if not descriptor.objective.strip():
+            raise DiscoveryError("sessions need a non-empty objective to be discoverable")
+        self._sessions[descriptor.name] = descriptor
+
+    def withdraw(self, name: str) -> None:
+        """Remove a session (ended / archived)."""
+        self._sessions.pop(name, None)
+        self._parents.pop(name, None)
+
+    def get(self, name: str) -> Optional[SessionDescriptor]:
+        return self._sessions.get(name)
+
+    @property
+    def sessions(self) -> list[SessionDescriptor]:
+        return [self._sessions[k] for k in sorted(self._sessions)]
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: str,
+        require: tuple[str, ...] = (),
+        limit: int = 10,
+    ) -> list[SearchHit]:
+        """Ranked sessions matching ``query`` and supporting ``require``.
+
+        ``require`` lists result-space capabilities the joiner needs
+        (e.g. ``("image",)`` for an image-sharing participant).
+        """
+        q = _tokens(query)
+        if not q:
+            raise DiscoveryError("empty query")
+        hits: list[SearchHit] = []
+        for desc in self._sessions.values():
+            if any(not desc.supports(cap) for cap in require):
+                continue
+            obj_tokens = _tokens(desc.objective) | _tokens(desc.name)
+            matched = q & obj_tokens
+            if not matched:
+                continue
+            score = len(matched) / len(q)
+            if _tokens(desc.name) & q:
+                score += 0.25
+            hits.append(
+                SearchHit(descriptor=desc, score=score, matched_tokens=tuple(sorted(matched)))
+            )
+        hits.sort(key=lambda h: (-h.score, h.descriptor.name))
+        return hits[:limit]
+
+    # ------------------------------------------------------------------
+    def refine(
+        self,
+        parent_name: str,
+        sub_name: str,
+        objective: str,
+        result_space: Optional[tuple[str, ...]] = None,
+    ) -> SessionDescriptor:
+        """Spawn a narrower session under a too-coarse parent.
+
+        The refined session inherits the parent's result space unless
+        overridden (it can only narrow, never widen — members joined the
+        parent expecting at most those capabilities).
+        """
+        parent = self._sessions.get(parent_name)
+        if parent is None:
+            raise DiscoveryError(f"unknown parent session {parent_name!r}")
+        if result_space is None:
+            result_space = parent.result_space
+        elif not set(result_space) <= set(parent.result_space):
+            raise DiscoveryError("a refinement cannot widen the parent's result space")
+        refined = SessionDescriptor(sub_name, objective, result_space)
+        self.publish(refined)
+        self._parents[sub_name] = parent_name
+        return refined
+
+    def parent_of(self, name: str) -> Optional[str]:
+        """The session this one refines, if any."""
+        return self._parents.get(name)
+
+    def refinements_of(self, name: str) -> list[SessionDescriptor]:
+        """Narrower sessions spawned under ``name``."""
+        return [
+            self._sessions[child]
+            for child, parent in sorted(self._parents.items())
+            if parent == name and child in self._sessions
+        ]

@@ -1,0 +1,170 @@
+"""The inference engine: profile + contract + policies + state → decision.
+
+"The quality of service adaptation based on network and system state is
+jointly provided by three components, viz. the client profile, the system
+state interface and the inference engine ... It then links this
+information to determine the amount of information that can be processed
+on the multicast data channel.  It also activates the information
+transformer" (paper Sec. 5.2).
+
+:meth:`InferenceEngine.infer` is a pure function of its inputs so the
+whole adaptation path is unit-testable; the client object wires it to the
+SNMP-backed system-state interface and to the image viewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..media.transformers import Modality
+from .contracts import ContractViolation, QoSContract
+from .policies import ModalityTier, PolicyDatabase
+from .profiles import ClientProfile
+
+__all__ = ["AdaptationDecision", "InferenceEngine"]
+
+#: packet budgets the engine snaps to (paper: powers of two, 1..16)
+_PACKET_STEPS = (0, 1, 2, 4, 8, 16)
+
+
+def _snap_packets(value: int, ceiling: int) -> int:
+    """Largest allowed power-of-two step <= value (and <= ceiling)."""
+    best = 0
+    for step in _PACKET_STEPS:
+        if step <= value and step <= ceiling:
+            best = step
+    return best
+
+
+@dataclass(frozen=True)
+class AdaptationDecision:
+    """What the client should do right now.
+
+    Attributes
+    ----------
+    packets:
+        Progressive-image packets to accept (0..n_packets).
+    modality:
+        Richest modality to render (may be downgraded from the source's).
+    tier:
+        The wireless tier (only meaningful behind a base station).
+    transforms:
+        Transformer chain names the client must activate.
+    violations:
+        Contract constraints the environment made unsatisfiable.
+    reasons:
+        Human-readable trace of which policies fired (observability).
+    """
+
+    packets: int
+    modality: Modality
+    tier: ModalityTier = ModalityTier.FULL_IMAGE
+    transforms: tuple[str, ...] = ()
+    violations: tuple[ContractViolation, ...] = ()
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when the contract could not be fully honoured."""
+        return bool(self.violations)
+
+
+class InferenceEngine:
+    """Policy-driven adaptation decisions.
+
+    Parameters
+    ----------
+    policies:
+        The policy database (see :mod:`repro.core.policies`).
+    contract:
+        The client's QoS contract; decision parameters are clamped into
+        it and residual violations reported.
+    max_packets:
+        The image viewer's full budget (paper: 16).
+    """
+
+    def __init__(
+        self,
+        policies: PolicyDatabase,
+        contract: Optional[QoSContract] = None,
+        max_packets: int = 16,
+    ) -> None:
+        self.policies = policies
+        self.contract = contract
+        self.max_packets = max_packets
+        self.decisions_made = 0
+
+    # ------------------------------------------------------------------
+    def infer(
+        self,
+        profile: ClientProfile,
+        observed: dict[str, float],
+    ) -> AdaptationDecision:
+        """Produce a decision from the current profile and system state.
+
+        ``observed`` holds system/network parameters (``page_faults``,
+        ``cpu_load``, ``bandwidth_bps``, ``sir_db``, ...); the profile
+        contributes the user's modality preference and device class.
+        """
+        self.decisions_made += 1
+        reasons: list[str] = []
+
+        # -- packet budget from system-state policies ---------------------
+        policy_packets = self.policies.decide_packets(observed)
+        if policy_packets is None:
+            packets = self.max_packets
+            reasons.append("no packet policy applicable; full budget")
+        else:
+            packets = policy_packets
+            reasons.append(f"policy packet budget {policy_packets}")
+        packets = _snap_packets(int(packets), self.max_packets)
+
+        # -- wireless tier ------------------------------------------------
+        tier = ModalityTier.FULL_IMAGE
+        if "sir_db" in observed:
+            tier = self.policies.decide_tier(observed["sir_db"])
+            reasons.append(f"sir {observed['sir_db']:.1f} dB -> tier {tier.name}")
+            if tier is ModalityTier.NOTHING:
+                packets = 0
+            elif tier is not ModalityTier.FULL_IMAGE:
+                packets = 0  # image packets are gated off below full tier
+
+        # -- modality from profile preference + tier -----------------------
+        preferred = profile.get("modality", "image")
+        modality = Modality(preferred) if preferred in Modality._value2member_map_ else Modality.IMAGE
+        transforms: list[str] = []
+        if tier is ModalityTier.TEXT_ONLY and modality in (Modality.IMAGE, Modality.SKETCH):
+            modality = Modality.TEXT
+            transforms.append("image-to-text")
+            reasons.append("tier forces text modality")
+        elif tier is ModalityTier.TEXT_AND_SKETCH and modality is Modality.IMAGE:
+            modality = Modality.SKETCH
+            transforms.append("image-to-sketch")
+            reasons.append("tier forces sketch modality")
+        elif modality is Modality.TEXT and preferred == "text":
+            transforms.append("image-to-text")
+            reasons.append("profile prefers text modality")
+        elif modality is Modality.SPEECH:
+            transforms.extend(("image-to-text", "text-to-speech"))
+            reasons.append("profile prefers speech modality")
+
+        # -- contract enforcement ------------------------------------------
+        violations: tuple[ContractViolation, ...] = ()
+        if self.contract is not None:
+            clamped = int(self.contract.clamp("packets", packets))
+            if clamped != packets:
+                reasons.append(f"contract clamps packets {packets} -> {clamped}")
+            packets = _snap_packets(clamped, self.max_packets) if clamped != packets else packets
+            violations = tuple(self.contract.violations({"packets": packets, **observed}))
+            if violations:
+                reasons.append("contract violations: " + "; ".join(map(str, violations)))
+
+        return AdaptationDecision(
+            packets=packets,
+            modality=modality,
+            tier=tier,
+            transforms=tuple(transforms),
+            violations=violations,
+            reasons=tuple(reasons),
+        )

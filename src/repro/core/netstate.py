@@ -1,0 +1,169 @@
+"""Network-state interface: the framework's aggregated view of the system.
+
+"The network state interface is a generic component that encapsulates
+the state of the system.  This includes CPU load, available memory,
+network bandwidth, latency, and jitter.  The current implementation ...
+uses [SNMP] ... to directly query the SNMP MIB" (paper Sec. 5.5).
+
+:class:`NetworkStateInterface` owns one SNMP manager and a set of
+*probes* — (host, OID, output-parameter, transform) bindings — and turns
+a poll into the flat ``observed`` dict the inference engine consumes.
+Standard probes cover the host extension agent (CPU, page faults, free
+memory, access-link metrics) and the LAN switch's ifTable (link speed →
+available bandwidth).
+
+Failure semantics: a probe whose agent times out contributes nothing
+this cycle (the engine then runs on the remaining observations), and the
+failure is counted — adaptation degrades gracefully when the management
+plane itself is degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..network.clock import Scheduler
+from ..network.simnet import Network
+from ..network.udp import DatagramSocket
+from ..snmp.ber import Counter32, Gauge32, Integer, TimeTicks
+from ..snmp.errors import SnmpError
+from ..snmp.manager import SnmpManager
+from ..snmp.oids import MIB2, OID, TASSL
+
+__all__ = ["Probe", "NetworkStateInterface"]
+
+#: Converts a raw BER value into a float for the observed dict.
+Transform = Callable[[object], float]
+
+
+def _numeric(value: object) -> float:
+    """Default transform: unwrap any numeric BER type."""
+    if isinstance(value, (Gauge32, Counter32, TimeTicks, Integer)):
+        return float(value.value)
+    raise SnmpError(f"non-numeric SNMP value: {value!r}")
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One monitored MIB variable.
+
+    ``parameter`` is the key it lands under in the observed dict;
+    ``transform`` converts the BER value (e.g. µs → ms).
+    """
+
+    host: str
+    oid: OID
+    parameter: str
+    transform: Transform = _numeric
+
+
+class NetworkStateInterface:
+    """Aggregated SNMP polling for one client's adaptation loop.
+
+    Example
+    -------
+    ``standard_host_probes`` + ``switch_bandwidth_probe`` cover the
+    paper's parameter list; :meth:`poll` returns e.g.::
+
+        {"cpu_load": 42.0, "page_faults": 31.0, "free_memory_kib": ...,
+         "link_latency_ms": 0.5, "link_loss_ppm": 0.0,
+         "bandwidth_bps": 12500000.0}
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        community: str = "public",
+        timeout: float = 0.5,
+        retries: int = 1,
+    ) -> None:
+        self.network = network
+        self.manager = SnmpManager(
+            DatagramSocket(network, host),
+            network.scheduler,
+            community=community,
+            timeout=timeout,
+            retries=retries,
+        )
+        self.probes: list[Probe] = []
+        self.poll_count = 0
+        self.probe_failures = 0
+        self.last_observed: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # probe registration
+    # ------------------------------------------------------------------
+    def add_probe(self, probe: Probe) -> None:
+        """Register one monitored variable."""
+        self.probes.append(probe)
+
+    def add_standard_host_probes(self, host: str) -> None:
+        """The extension agent's full parameter set for ``host``."""
+        us_to_ms: Transform = lambda v: _numeric(v) / 1000.0
+        for oid, parameter, transform in (
+            (TASSL.hostCpuLoad, "cpu_load", _numeric),
+            (TASSL.hostPageFaults, "page_faults", _numeric),
+            (TASSL.hostFreeMemory, "free_memory_kib", _numeric),
+            (TASSL.linkBandwidth, "bandwidth_bps", _numeric),
+            (TASSL.linkLatencyUs, "link_latency_ms", us_to_ms),
+            (TASSL.linkJitterUs, "link_jitter_ms", us_to_ms),
+            (TASSL.linkLossPpm, "link_loss_ppm", _numeric),
+        ):
+            self.add_probe(Probe(host, oid, parameter, transform))
+
+    def add_switch_bandwidth_probe(
+        self, element: str, if_index: int, parameter: str = "bandwidth_bps"
+    ) -> None:
+        """Monitor a switch port's speed (MIB-II ifSpeed is in bits/s)."""
+        self.add_probe(
+            Probe(
+                element,
+                MIB2.ifSpeed.child(if_index),
+                parameter,
+                transform=lambda v: _numeric(v) / 8.0,
+            )
+        )
+
+    def add_switch_octet_probes(self, element: str, if_index: int, prefix: str = "if") -> None:
+        """Monitor a switch port's octet counters (utilisation estimation)."""
+        self.add_probe(
+            Probe(element, MIB2.ifInOctets.child(if_index), f"{prefix}{if_index}_in_octets")
+        )
+        self.add_probe(
+            Probe(element, MIB2.ifOutOctets.child(if_index), f"{prefix}{if_index}_out_octets")
+        )
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+    def poll(self) -> dict[str, float]:
+        """Query every probe; skip (and count) failures.
+
+        Probes against the same host are batched into a single GET —
+        one round trip per agent per cycle.
+        """
+        self.poll_count += 1
+        observed: dict[str, float] = {}
+        by_host: dict[str, list[Probe]] = {}
+        for p in self.probes:
+            by_host.setdefault(p.host, []).append(p)
+        for host, probes in sorted(by_host.items()):
+            try:
+                results = self.manager.get(host, [p.oid for p in probes])
+            except SnmpError:
+                self.probe_failures += len(probes)
+                continue
+            values = {oid: v for oid, v in results}
+            for p in probes:
+                try:
+                    observed[p.parameter] = p.transform(values[p.oid])
+                except (KeyError, SnmpError):
+                    self.probe_failures += 1
+        self.last_observed = observed
+        return observed
+
+    def close(self) -> None:
+        """Release the underlying manager socket."""
+        self.manager.close()

@@ -1,0 +1,420 @@
+"""The semantic-selector expression language.
+
+"The semantic-selector is a prepositional expression over all possible
+attributes and specifies the profile(s) of clients that are to receive
+the message" (paper Sec. 3).  Selectors *descriptively name dynamic sets
+of clients of arbitrary cardinality* — this module is that naming
+language.
+
+Grammar (recursive descent, no ``eval``)::
+
+    expr        := or_expr
+    or_expr     := and_expr ( 'or' and_expr )*
+    and_expr    := not_expr ( 'and' not_expr )*
+    not_expr    := 'not' not_expr | primary
+    primary     := 'exists' '(' IDENT ')'
+                 | '(' expr ')'
+                 | comparison
+    comparison  := operand  ( ('=='|'!='|'<='|'>='|'<'|'>') operand
+                            | 'in' list_lit
+                            | 'contains' operand )?
+    operand     := IDENT | literal
+    literal     := NUMBER | STRING | 'true' | 'false'
+    list_lit    := '[' literal ( ',' literal )* ']'
+
+Semantics: identifiers read attributes from the environment (a profile or
+a header map); any comparison touching a missing attribute is *false*
+(``exists`` is the explicit presence test); a bare identifier used as a
+boolean must be a bool attribute.  ``contains`` tests list membership
+(``capabilities contains 'jpeg'``); ``in`` tests the reverse
+(``encoding in ['mpeg2', 'jpeg']``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Union
+
+from .attributes import MISSING, AttributeMap, values_equal
+
+__all__ = ["Selector", "SelectorError", "parse", "TRUE_SELECTOR"]
+
+
+class SelectorError(ValueError):
+    """Raised on lexical, syntactic, or (runtime) type errors."""
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op>==|!=|<=|>=|<|>)
+  | (?P<punct>[()\[\],])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "contains", "exists", "true", "false"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'number' | 'string' | 'op' | 'punct' | 'ident' | keyword itself
+    value: Any
+    pos: int
+
+
+def _lex(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SelectorError(f"bad character {text[pos]!r} at position {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        raw = m.group()
+        if kind == "number":
+            tokens.append(_Token("number", float(raw) if "." in raw else int(raw), m.start()))
+        elif kind == "string":
+            tokens.append(_Token("string", raw[1:-1], m.start()))
+        elif kind == "ident":
+            low = raw.lower()
+            if low in _KEYWORDS:
+                tokens.append(_Token(low, low, m.start()))
+            else:
+                tokens.append(_Token("ident", raw, m.start()))
+        else:
+            tokens.append(_Token(kind, raw, m.start()))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Literal:
+    value: Any
+
+    def eval_value(self, env: AttributeMap) -> Any:
+        return self.value
+
+    def attributes(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class _Attr:
+    name: str
+
+    def eval_value(self, env: AttributeMap) -> Any:
+        return env.get(self.name, MISSING)
+
+    def attributes(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class _Compare:
+    op: str
+    left: Union[_Literal, _Attr]
+    right: Any  # _Literal | _Attr | list of _Literal (for 'in')
+
+    def evaluate(self, env: AttributeMap) -> bool:
+        lv = self.left.eval_value(env)
+        if self.op == "in":
+            if lv is MISSING:
+                return False
+            return any(values_equal(lv, lit.value) for lit in self.right)
+        rv = self.right.eval_value(env)
+        if lv is MISSING or rv is MISSING:
+            return False
+        if self.op == "==":
+            return values_equal(lv, rv)
+        if self.op == "!=":
+            return not values_equal(lv, rv)
+        if self.op == "contains":
+            if not isinstance(lv, (list, tuple)):
+                return False
+            return any(values_equal(item, rv) for item in lv)
+        # ordered comparisons require numbers (or two strings)
+        both_num = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in (lv, rv)
+        )
+        both_str = isinstance(lv, str) and isinstance(rv, str)
+        if not (both_num or both_str):
+            return False
+        if self.op == "<":
+            return lv < rv
+        if self.op == "<=":
+            return lv <= rv
+        if self.op == ">":
+            return lv > rv
+        if self.op == ">=":
+            return lv >= rv
+        raise SelectorError(f"unknown operator {self.op!r}")  # pragma: no cover
+
+    def attributes(self) -> set[str]:
+        out = self.left.attributes()
+        if self.op == "in":
+            return out
+        return out | self.right.attributes()
+
+
+@dataclass(frozen=True)
+class _Exists:
+    name: str
+
+    def evaluate(self, env: AttributeMap) -> bool:
+        return env.get(self.name, MISSING) is not MISSING
+
+    def attributes(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class _BoolAttr:
+    """A bare identifier in boolean position: true iff attr is True."""
+
+    name: str
+
+    def evaluate(self, env: AttributeMap) -> bool:
+        return env.get(self.name, MISSING) is True
+
+    def attributes(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class _BoolLiteral:
+    value: bool
+
+    def evaluate(self, env: AttributeMap) -> bool:
+        return self.value
+
+    def attributes(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class _Not:
+    operand: Any
+
+    def evaluate(self, env: AttributeMap) -> bool:
+        return not self.operand.evaluate(env)
+
+    def attributes(self) -> set[str]:
+        return self.operand.attributes()
+
+
+@dataclass(frozen=True)
+class _And:
+    operands: tuple
+
+    def evaluate(self, env: AttributeMap) -> bool:
+        return all(o.evaluate(env) for o in self.operands)
+
+    def attributes(self) -> set[str]:
+        return set().union(*(o.attributes() for o in self.operands))
+
+
+@dataclass(frozen=True)
+class _Or:
+    operands: tuple
+
+    def evaluate(self, env: AttributeMap) -> bool:
+        return any(o.evaluate(env) for o in self.operands)
+
+    def attributes(self) -> set[str]:
+        return set().union(*(o.attributes() for o in self.operands))
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise SelectorError(f"unexpected end of selector: {self.source!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Any = None) -> _Token:
+        tok = self.next()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            raise SelectorError(
+                f"expected {value or kind} at position {tok.pos} in {self.source!r},"
+                f" got {tok.value!r}"
+            )
+        return tok
+
+    # -- grammar ---------------------------------------------------------
+    def parse_expr(self):
+        node = self.parse_and()
+        parts = [node]
+        while (tok := self.peek()) is not None and tok.kind == "or":
+            self.next()
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else _Or(tuple(parts))
+
+    def parse_and(self):
+        node = self.parse_not()
+        parts = [node]
+        while (tok := self.peek()) is not None and tok.kind == "and":
+            self.next()
+            parts.append(self.parse_not())
+        return parts[0] if len(parts) == 1 else _And(tuple(parts))
+
+    def parse_not(self):
+        tok = self.peek()
+        if tok is not None and tok.kind == "not":
+            self.next()
+            return _Not(self.parse_not())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.peek()
+        if tok is None:
+            raise SelectorError(f"unexpected end of selector: {self.source!r}")
+        if tok.kind == "exists":
+            self.next()
+            self.expect("punct", "(")
+            name = self.expect("ident").value
+            self.expect("punct", ")")
+            return _Exists(name)
+        if tok.kind == "punct" and tok.value == "(":
+            self.next()
+            inner = self.parse_expr()
+            self.expect("punct", ")")
+            return inner
+        if tok.kind in ("true", "false"):
+            self.next()
+            return _BoolLiteral(tok.kind == "true")
+        return self.parse_comparison()
+
+    def parse_operand(self):
+        tok = self.next()
+        if tok.kind == "ident":
+            return _Attr(tok.value)
+        if tok.kind == "number":
+            return _Literal(tok.value)
+        if tok.kind == "string":
+            return _Literal(tok.value)
+        if tok.kind in ("true", "false"):
+            return _Literal(tok.kind == "true")
+        raise SelectorError(f"expected operand at position {tok.pos} in {self.source!r}")
+
+    def parse_list(self) -> list[_Literal]:
+        self.expect("punct", "[")
+        items: list[_Literal] = []
+        while True:
+            tok = self.next()
+            if tok.kind == "number" or tok.kind == "string":
+                items.append(_Literal(tok.value))
+            elif tok.kind in ("true", "false"):
+                items.append(_Literal(tok.kind == "true"))
+            else:
+                raise SelectorError(f"expected literal in list at {tok.pos}")
+            tok = self.next()
+            if tok.kind == "punct" and tok.value == "]":
+                break
+            if not (tok.kind == "punct" and tok.value == ","):
+                raise SelectorError(f"expected ',' or ']' at position {tok.pos}")
+        if not items:
+            raise SelectorError("empty list literal")
+        return items
+
+    def parse_comparison(self):
+        left = self.parse_operand()
+        tok = self.peek()
+        if tok is not None and tok.kind == "op":
+            self.next()
+            right = self.parse_operand()
+            return _Compare(tok.value, left, right)
+        if tok is not None and tok.kind == "in":
+            self.next()
+            return _Compare("in", left, self.parse_list())
+        if tok is not None and tok.kind == "contains":
+            self.next()
+            right = self.parse_operand()
+            return _Compare("contains", left, right)
+        # bare identifier in boolean position
+        if isinstance(left, _Attr):
+            return _BoolAttr(left.name)
+        if isinstance(left, _Literal) and isinstance(left.value, bool):
+            return _BoolLiteral(left.value)
+        raise SelectorError(
+            f"bare literal {left!r} is not a boolean expression in {self.source!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# public surface
+# ----------------------------------------------------------------------
+class Selector:
+    """A compiled selector expression.
+
+    >>> s = Selector("media == 'video' and size_kb <= 1024")
+    >>> s.matches({"media": "video", "size_kb": 800})
+    True
+    >>> s.matches({"media": "audio", "size_kb": 800})
+    False
+    >>> s.matches({"media": "video"})   # missing attribute -> clause false
+    False
+    """
+
+    __slots__ = ("text", "_ast")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        tokens = _lex(text)
+        if not tokens:
+            raise SelectorError("empty selector")
+        parser = _Parser(tokens, text)
+        self._ast = parser.parse_expr()
+        if parser.peek() is not None:
+            tok = parser.peek()
+            raise SelectorError(f"trailing input at position {tok.pos} in {text!r}")
+
+    def matches(self, env: AttributeMap) -> bool:
+        """Evaluate against an attribute map (profile or message headers)."""
+        return bool(self._ast.evaluate(env))
+
+    def attributes(self) -> set[str]:
+        """All attribute names the expression references."""
+        return self._ast.attributes()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Selector) and self._ast == other._ast
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+    def __repr__(self) -> str:
+        return f"Selector({self.text!r})"
+
+
+def parse(text: str) -> Selector:
+    """Compile a selector; alias for the constructor."""
+    return Selector(text)
+
+
+#: Matches every profile — broadcast to the whole session.
+TRUE_SELECTOR = Selector("true")

@@ -1,0 +1,109 @@
+"""Collaboration session: group formation, membership, archival.
+
+"Clients with the similar objectives form a collaborating group ... Based
+on the final objective and required results a member joins the
+appropriate collaborating session" (paper Sec. 2).  The session object
+carries the objective and result space (what the group can share), an
+observer-only membership list learned from join/leave events (routing
+never uses it), and an archive so "sessions can be archived to provide
+late clients with session history" (Sec. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..messaging.message import SemanticMessage
+
+__all__ = ["SessionDescriptor", "SessionArchive", "Membership"]
+
+
+@dataclass(frozen=True)
+class SessionDescriptor:
+    """Identity and purpose of one collaboration session.
+
+    ``objective`` precision matters: "a more precise definition of
+    collaboration objective results in higher satisfaction levels".
+    ``result_space`` enumerates what sharing the session supports
+    (``"chat"``, ``"whiteboard"``, ``"image"``, ...).
+    """
+
+    name: str
+    objective: str
+    result_space: tuple[str, ...] = ("chat", "whiteboard", "image")
+
+    def selector_text(self, extra: str = "") -> str:
+        """The audience expression targeting this session's members."""
+        base = f"session == '{self.name}'"
+        return f"{base} and ({extra})" if extra else base
+
+    def supports(self, capability: str) -> bool:
+        """Whether the session's result space covers a sharing kind."""
+        return capability in self.result_space
+
+
+class Membership:
+    """Observer-side roster built from join/leave events.
+
+    Purely diagnostic — the semantic substrate needs no roster — but the
+    UI (and the experiments) want to display who is around.
+    """
+
+    def __init__(self) -> None:
+        self._members: dict[str, float] = {}  # client_id -> join time
+        self.joins = 0
+        self.leaves = 0
+
+    def join(self, client_id: str, time: float) -> None:
+        if client_id not in self._members:
+            self._members[client_id] = time
+            self.joins += 1
+
+    def leave(self, client_id: str) -> None:
+        if client_id in self._members:
+            del self._members[client_id]
+            self.leaves += 1
+
+    @property
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def __contains__(self, client_id: str) -> bool:
+        return client_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class SessionArchive:
+    """Time-ordered record of session traffic for late joiners.
+
+    Bounded: keeps the newest ``capacity`` messages (images dominate
+    volume; a real deployment would spool to disk).
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: list[tuple[float, SemanticMessage]] = []
+        self.archived = 0
+
+    def record(self, time: float, message: SemanticMessage) -> None:
+        """Append one message; evicts the oldest beyond capacity."""
+        self._entries.append((time, message))
+        self.archived += 1
+        if len(self._entries) > self.capacity:
+            self._entries = self._entries[-self.capacity :]
+
+    def replay(self, since: float = 0.0, kinds: Optional[set[str]] = None) -> list[tuple[float, SemanticMessage]]:
+        """Messages after ``since``, optionally filtered by kind."""
+        return [
+            (t, m)
+            for t, m in self._entries
+            if t >= since and (kinds is None or m.kind in kinds)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)

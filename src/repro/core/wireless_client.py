@@ -1,0 +1,222 @@
+"""Wireless (thin) client: joins the session through a base station.
+
+"While wired clients directly join a collaboration session as peers,
+wireless clients join through a base-station ... It maintains the
+profiles of all the wireless clients connected to it and manages QoS on
+their behalf" (paper Sec. 1).
+
+The client talks *only* to its base station over a unicast semantic link
+(serialized messages over the RTP-thin layer over a datagram socket).
+Its radio is characterised by ``distance`` and ``tx_power``; both can
+change over time (mobility, power control) and changes are reported to
+the BS as control events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..messaging.message import SemanticMessage
+from ..messaging.rtp import RtpPacketizer, RtpReassembler
+from ..messaging.serialization import decode_message, encode_message
+from ..network.simnet import Network
+from ..network.udp import DatagramSocket
+from .events import (
+    Event,
+    ImagePacketEvent,
+    ImageShareAnnounce,
+    PowerControlRequest,
+    ProfileUpdateEvent,
+    SketchShareEvent,
+    TextShareEvent,
+    decode_event,
+)
+from .profiles import ClientProfile
+
+__all__ = ["UnicastSemanticLink", "WirelessClient"]
+
+
+class UnicastSemanticLink:
+    """Point-to-point semantic message channel (client ↔ BS leg)."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        on_message: Callable[[SemanticMessage], None],
+        port: Optional[int] = None,
+    ) -> None:
+        self.sock = DatagramSocket(network, host)
+        if port is not None:
+            self.sock.bind(port)
+        else:
+            self.sock.bind_ephemeral()
+        self.sock.on_receive = self._on_datagram
+        import zlib
+
+        ssrc = zlib.crc32(f"{host}:{self.sock.port}".encode()) & 0xFFFFFFFF
+        self._packetizer = RtpPacketizer(ssrc)
+        self._reassembler = RtpReassembler(lambda _ssrc, payload: on_message(decode_message(payload)))
+        self.sent = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.sock.host, self.sock.port)  # type: ignore[return-value]
+
+    def send(self, message: SemanticMessage, dest: tuple[str, int]) -> None:
+        """Fragment and unicast one message."""
+        for frag in self._packetizer.packetize(encode_message(message)):
+            self.sock.sendto(frag.encode(), dest)
+        self.sent += 1
+
+    def _on_datagram(self, data: bytes, src: tuple[str, int]) -> None:
+        self._reassembler.ingest(data)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class WirelessClient:
+    """A thin client whose QoS the base station manages.
+
+    Parameters
+    ----------
+    name:
+        Client id == its network node name.
+    network:
+        The shared simulator (the radio is modelled as a node+link plus
+        the distance/power channel state the BS evaluates).
+    bs_address:
+        The base station's wireless-side (host, port).
+    distance / tx_power:
+        Initial channel state in metres / power units.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: Network,
+        bs_address: tuple[str, int],
+        profile: Optional[ClientProfile] = None,
+        distance: float = 100.0,
+        tx_power: float = 1.0,
+        battery: float = 100.0,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.scheduler = network.scheduler
+        self.bs_address = bs_address
+        self.profile = profile if profile is not None else ClientProfile(
+            name, {"role": "participant", "client_id": name, "device": "wireless"}
+        )
+        self.distance = float(distance)
+        self.tx_power = float(tx_power)
+        self.battery = float(battery)
+        self.link = UnicastSemanticLink(network, name, self._on_message)
+        # what actually reached this client, by modality
+        self.received_events: list[tuple[float, Event]] = []
+        self.texts: list[TextShareEvent] = []
+        self.sketches: list[SketchShareEvent] = []
+        self.image_packets: list[ImagePacketEvent] = []
+        self.announces: list[ImageShareAnnounce] = []
+        self.power_requests: list[PowerControlRequest] = []
+        self.comply_with_power_control = True
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def _send_to_bs(self, event: Event) -> None:
+        msg = SemanticMessage.create(
+            sender=self.name,
+            selector="role == 'base-station'",
+            headers=event.headers(),
+            body=event.to_body(),
+            kind=event.kind,
+        )
+        self.link.send(msg, self.bs_address)
+
+    def report_channel_state(self) -> None:
+        """Tell the BS our current distance/power (control event)."""
+        self._send_to_bs(
+            ProfileUpdateEvent(
+                client_id=self.name,
+                changes=(
+                    ("distance", f"{self.distance:.6f}"),
+                    ("tx_power", f"{self.tx_power:.6f}"),
+                    ("battery", f"{self.battery:.2f}"),
+                ),
+            )
+        )
+
+    def move_to(self, distance: float) -> None:
+        """Mobility: change distance from the BS and report it."""
+        if distance <= 0:
+            raise ValueError("distance must be positive")
+        self.distance = float(distance)
+        self.report_channel_state()
+
+    def set_power(self, tx_power: float) -> None:
+        """Change transmit power (device capability permitting)."""
+        if tx_power <= 0:
+            raise ValueError("tx_power must be positive")
+        self.tx_power = float(tx_power)
+        self.report_channel_state()
+
+    def set_modality_preference(self, modality: str) -> None:
+        """Tell the BS how to render degraded content for us.
+
+        ``"speech"`` makes the BS transform text renditions into
+        synthetic speech centrally (paper Sec. 5.2); ``"text"`` reverts.
+        """
+        self.profile.update(modality=modality)
+        self._send_to_bs(
+            ProfileUpdateEvent(
+                client_id=self.name, changes=(("modality", modality),)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def send_event(self, event: Event) -> None:
+        """Contribute an event to the session (via the BS, unicast)."""
+        # energy model: sending costs battery proportional to tx power
+        self.battery = max(0.0, self.battery - 0.05 * self.tx_power)
+        self._send_to_bs(event)
+
+    def _on_message(self, message: SemanticMessage) -> None:
+        now = self.scheduler.clock.now
+        try:
+            event = decode_event(message.kind, message.body)
+        except Exception:
+            return
+        self.received_events.append((now, event))
+        if isinstance(event, TextShareEvent):
+            self.texts.append(event)
+        elif isinstance(event, SketchShareEvent):
+            self.sketches.append(event)
+        elif isinstance(event, ImagePacketEvent):
+            self.image_packets.append(event)
+        elif isinstance(event, ImageShareAnnounce):
+            self.announces.append(event)
+        elif isinstance(event, PowerControlRequest) and event.client_id == self.name:
+            self.power_requests.append(event)
+            if self.comply_with_power_control:
+                self.tx_power = float(event.new_power)
+                self.report_channel_state()
+
+    # ------------------------------------------------------------------
+    def modality_counts(self) -> dict[str, int]:
+        """How much of each modality tier reached this client."""
+        return {
+            "text": len(self.texts),
+            "sketch": len(self.sketches),
+            "image_packets": len(self.image_packets),
+            "announces": len(self.announces),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WirelessClient({self.name!r}, d={self.distance:.0f}m,"
+            f" P={self.tx_power:.2f}, batt={self.battery:.0f}%)"
+        )

@@ -1,0 +1,336 @@
+"""Progressive image transmission: packetization of embedded bitstreams.
+
+The image viewer splits a coded image into up to 16 packets; the inference
+engine tells the receiver how many to accept (1, 2, 4, 8, 16).  Because
+the EZW stream is embedded, the first *k* packets form a decodable prefix
+and "image detail is hierarchically added" as more packets arrive.
+
+Multi-channel (color) images are handled by splitting every channel's
+stream into the same number of prefix increments and bundling increment
+*k* of each channel into packet *k* — so any packet prefix yields a
+balanced-quality color reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .ezw import EzwEncoded, decode_image, encode_image
+from .metrics import bpp, compression_ratio, psnr
+from .wavelet import max_levels
+
+__all__ = ["ImagePacket", "ProgressiveImage", "ReceptionReport", "PACKET_COUNTS"]
+
+#: The packet counts the paper's inference engine selects among (FIG6).
+PACKET_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ImagePacket:
+    """One transmissible increment of a progressive image.
+
+    ``chunks[c]`` is ``(payload_bytes, n_bits)`` for channel ``c``.
+    """
+
+    index: int
+    total: int
+    chunks: tuple[tuple[bytes, int], ...]
+
+    @property
+    def n_bits(self) -> int:
+        return sum(bits for _, bits in self.chunks)
+
+    @property
+    def n_bytes(self) -> int:
+        return sum(len(data) for data, _ in self.chunks)
+
+    def to_bytes(self) -> bytes:
+        """Flatten for transmission (header: index, total, per-chunk bits)."""
+        out = bytearray()
+        out += self.index.to_bytes(2, "big")
+        out += self.total.to_bytes(2, "big")
+        out += len(self.chunks).to_bytes(1, "big")
+        for data, bits in self.chunks:
+            out += bits.to_bytes(4, "big")
+            out += len(data).to_bytes(4, "big")
+            out += data
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "ImagePacket":
+        """Inverse of :meth:`to_bytes`."""
+        index = int.from_bytes(raw[0:2], "big")
+        total = int.from_bytes(raw[2:4], "big")
+        n_chunks = raw[4]
+        chunks = []
+        pos = 5
+        for _ in range(n_chunks):
+            bits = int.from_bytes(raw[pos : pos + 4], "big")
+            ln = int.from_bytes(raw[pos + 4 : pos + 8], "big")
+            chunks.append((raw[pos + 8 : pos + 8 + ln], bits))
+            pos += 8 + ln
+        return cls(index, total, tuple(chunks))
+
+
+@dataclass
+class ReceptionReport:
+    """Metrics of a reconstruction from a subset of packets."""
+
+    packets_used: int
+    bits_used: int
+    bpp: float
+    compression_ratio: float
+    psnr_db: float
+
+
+class ProgressiveImage:
+    """Encode once, packetize, reconstruct from any packet prefix.
+
+    Parameters
+    ----------
+    image:
+        ``uint8`` grayscale ``(h, w)`` or color ``(h, w, 3)``.
+    n_packets:
+        How many packets to cut the stream into (paper: 16).
+    target_bpp:
+        Optional rate control: cap the full-quality stream at this many
+        bits per pixel (channel bits share the pixel budget).  ``None``
+        encodes to (near-)lossless depth.
+    levels:
+        Wavelet decomposition depth; defaults to the deepest supported.
+    """
+
+    def __init__(
+        self,
+        image: np.ndarray,
+        n_packets: int = 16,
+        target_bpp: Optional[float] = None,
+        levels: Optional[int] = None,
+    ) -> None:
+        img = np.asarray(image)
+        if img.ndim == 2:
+            channels = [img]
+        elif img.ndim == 3:
+            channels = [img[..., c] for c in range(img.shape[-1])]
+        else:
+            raise ValueError(f"expected 2-D or 3-D image, got ndim={img.ndim}")
+        if n_packets < 1:
+            raise ValueError("n_packets must be >= 1")
+        self.image = img
+        self.shape = img.shape
+        self.n_packets = n_packets
+        h, w = img.shape[0], img.shape[1]
+        self.levels = levels if levels is not None else min(5, max_levels((h, w)))
+        if self.levels < 1:
+            raise ValueError(f"image {h}x{w} supports no wavelet levels")
+
+        per_channel_bits: Optional[int] = None
+        if target_bpp is not None:
+            per_channel_bits = max(1, int(target_bpp * h * w / len(channels)))
+        self.encoded: list[EzwEncoded] = [
+            encode_image(ch, self.levels, max_bits=per_channel_bits) for ch in channels
+        ]
+        self.total_bits = sum(e.payload_bits for e in self.encoded)
+
+    # ------------------------------------------------------------------
+    def packets(self) -> list[ImagePacket]:
+        """Cut every channel stream into ``n_packets`` prefix increments."""
+        out = []
+        # per-channel cut points in bits, byte-aligned for cheap slicing
+        cuts = []
+        for enc in self.encoded:
+            edges = np.linspace(0, enc.payload_bits, self.n_packets + 1)
+            edges = (np.round(edges / 8).astype(int) * 8)
+            edges[-1] = enc.payload_bits
+            cuts.append(edges)
+        for k in range(self.n_packets):
+            chunks = []
+            for enc, edges in zip(self.encoded, cuts):
+                b0, b1 = int(edges[k]), int(edges[k + 1])
+                data = enc.payload[b0 // 8 : (b1 + 7) // 8]
+                chunks.append((data, b1 - b0))
+            out.append(ImagePacket(k, self.n_packets, tuple(chunks)))
+        return out
+
+    # ------------------------------------------------------------------
+    def reconstruct(self, n_received: int) -> np.ndarray:
+        """Decode from the first ``n_received`` packets (clamped to range)."""
+        k = max(0, min(self.n_packets, int(n_received)))
+        frac_bits = self._prefix_bits(k)
+        recon_channels = []
+        for enc, bits in zip(self.encoded, frac_bits):
+            rec = decode_image(enc.truncated(bits))
+            recon_channels.append(np.clip(rec, 0, 255))
+        if self.image.ndim == 2:
+            return recon_channels[0]
+        return np.stack(recon_channels, axis=-1)
+
+    def _prefix_bits(self, k: int) -> list[int]:
+        out = []
+        for enc in self.encoded:
+            edges = np.linspace(0, enc.payload_bits, self.n_packets + 1)
+            edges = (np.round(edges / 8).astype(int) * 8)
+            edges[-1] = enc.payload_bits
+            out.append(int(edges[k]))
+        return out
+
+    def report(self, n_received: int) -> ReceptionReport:
+        """Reconstruct and compute the paper's three metrics (+PSNR)."""
+        k = max(0, min(self.n_packets, int(n_received)))
+        bits_used = sum(self._prefix_bits(k))
+        recon = self.reconstruct(k)
+        return ReceptionReport(
+            packets_used=k,
+            bits_used=bits_used,
+            bpp=bpp(bits_used, self.shape[:2]),
+            compression_ratio=compression_ratio(bits_used, self.shape),
+            psnr_db=psnr(self.image, recon),
+        )
+
+    def reports(self, packet_counts: Sequence[int] = PACKET_COUNTS) -> list[ReceptionReport]:
+        """Reception reports for a series of packet counts (FIG6/7 rows)."""
+        return [self.report(k) for k in packet_counts]
+
+    @property
+    def t0_exps(self) -> tuple[int, ...]:
+        """Per-channel EZW threshold exponents (decode parameters)."""
+        return tuple(e.t0_exp for e in self.encoded)
+
+    @property
+    def channels(self) -> int:
+        return 1 if self.image.ndim == 2 else self.image.shape[-1]
+
+
+class ReceivedImage:
+    """Receiver-side assembly of a progressive image from packets.
+
+    Construct from the announce metadata (shape, levels, per-channel
+    threshold exponents, packet count), feed :class:`ImagePacket` objects
+    as they arrive (any order), and :meth:`reconstruct` from whatever
+    contiguous prefix is available — embedded coding means a missing
+    middle packet caps usable quality at the gap.
+    """
+
+    def __init__(
+        self,
+        height: int,
+        width: int,
+        channels: int,
+        levels: int,
+        t0_exps: Sequence[int],
+        n_packets: int,
+    ) -> None:
+        if len(t0_exps) != channels:
+            raise ValueError(f"need one t0_exp per channel: {len(t0_exps)} vs {channels}")
+        self.height = height
+        self.width = width
+        self.n_channels = channels
+        self.levels = levels
+        self.t0_exps = tuple(int(e) for e in t0_exps)
+        self.n_packets = n_packets
+        self._packets: dict[int, ImagePacket] = {}
+
+    def add_packet(self, packet: ImagePacket) -> None:
+        """Store one packet; duplicates are idempotent."""
+        if packet.total != self.n_packets:
+            raise ValueError(
+                f"packet advertises {packet.total} packets, expected {self.n_packets}"
+            )
+        if not (0 <= packet.index < self.n_packets):
+            raise ValueError(f"packet index {packet.index} out of range")
+        self._packets[packet.index] = packet
+
+    @property
+    def received(self) -> int:
+        """Number of distinct packets held."""
+        return len(self._packets)
+
+    @property
+    def usable_prefix(self) -> int:
+        """Length of the contiguous prefix from packet 0."""
+        k = 0
+        while k in self._packets:
+            k += 1
+        return k
+
+    def prefix_bits(self, k: Optional[int] = None) -> int:
+        """Payload bits in the first ``k`` packets (default: usable prefix)."""
+        k = self.usable_prefix if k is None else k
+        return sum(self._packets[i].n_bits for i in range(k))
+
+    def reconstruct(self, max_packets: Optional[int] = None) -> np.ndarray:
+        """Decode from the usable prefix (optionally capped)."""
+        k = self.usable_prefix
+        if max_packets is not None:
+            k = min(k, max_packets)
+        # concatenate each channel's chunks across the prefix
+        recon_channels = []
+        for c in range(self.n_channels):
+            data = bytearray()
+            bits = 0
+            for i in range(k):
+                chunk, nbits = self._packets[i].chunks[c]
+                data += chunk
+                bits += nbits
+            enc = EzwEncoded(
+                (self.height, self.width), self.levels, self.t0_exps[c], bytes(data), bits
+            )
+            recon_channels.append(np.clip(decode_image(enc), 0, 255))
+        if self.n_channels == 1:
+            return recon_channels[0]
+        return np.stack(recon_channels, axis=-1)
+
+    def thumbnail(self, scale_levels: int = 2, max_packets: Optional[int] = None) -> np.ndarray:
+        """A reduced-resolution view of the current reconstruction.
+
+        "Each of the users may access the same visual information but at
+        different resolutions" — a thin client renders the 2^-k-scale
+        approximation directly from the wavelet pyramid, paying no
+        full-resolution inverse transform.
+        """
+        from .ezw import EzwEncoded, ezw_decode
+        from .wavelet import haar_idwt2_partial
+
+        k = self.usable_prefix if max_packets is None else min(self.usable_prefix, max_packets)
+        channels = []
+        for c in range(self.n_channels):
+            data = bytearray()
+            bits = 0
+            for i in range(k):
+                chunk, nbits = self._packets[i].chunks[c]
+                data += chunk
+                bits += nbits
+            enc = EzwEncoded(
+                (self.height, self.width), self.levels, self.t0_exps[c], bytes(data), bits
+            )
+            coeffs = ezw_decode(enc)
+            skip = min(scale_levels, self.levels)
+            channels.append(
+                np.clip(haar_idwt2_partial(coeffs, self.levels, skip), 0, 255)
+            )
+        if self.n_channels == 1:
+            return channels[0]
+        return np.stack(channels, axis=-1)
+
+    def report(self, original: Optional[np.ndarray] = None, max_packets: Optional[int] = None) -> ReceptionReport:
+        """Metrics of the current reconstruction (PSNR needs the original)."""
+        k = self.usable_prefix if max_packets is None else min(self.usable_prefix, max_packets)
+        bits = self.prefix_bits(k)
+        shape = (
+            (self.height, self.width)
+            if self.n_channels == 1
+            else (self.height, self.width, self.n_channels)
+        )
+        p = float("nan")
+        if original is not None:
+            p = psnr(original, self.reconstruct(k))
+        return ReceptionReport(
+            packets_used=k,
+            bits_used=bits,
+            bpp=bpp(bits, shape[:2]),
+            compression_ratio=compression_ratio(bits, shape),
+            psnr_db=p,
+        )

@@ -1,0 +1,167 @@
+"""Information transformer registry: modality transformations.
+
+"The information transformer component maintains a suite of media-specific
+information abstraction modules ... designed to be extendible so that new
+modules and media types can be easily incorporated" (paper Sec. 5.4).
+
+A :class:`TransformerRegistry` holds directed edges between
+:class:`Modality` values; :meth:`TransformerRegistry.plan` finds the
+cheapest chain (Dijkstra over transformation costs) so a client whose
+profile says "speech only" can still receive a shared image via
+image→text→speech.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from .describe import describe_image
+from .sketch import extract_sketch
+from .speech import speech_to_text, text_to_speech
+
+__all__ = [
+    "Modality",
+    "Transformer",
+    "TransformerRegistry",
+    "TransformError",
+    "default_registry",
+]
+
+
+class TransformError(RuntimeError):
+    """Raised when no transformation chain exists or a module fails."""
+
+
+class Modality(str, Enum):
+    """Media modalities the framework can carry."""
+
+    IMAGE = "image"
+    SKETCH = "sketch"
+    TEXT = "text"
+    SPEECH = "speech"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Transformer:
+    """One media-specific abstraction module.
+
+    ``cost`` is a relative computational/latency weight used by
+    :meth:`TransformerRegistry.plan` when choosing between chains.
+    """
+
+    name: str
+    source: Modality
+    target: Modality
+    fn: Callable[[Any], Any]
+    cost: float = 1.0
+
+    def __call__(self, payload: Any) -> Any:
+        try:
+            return self.fn(payload)
+        except Exception as exc:  # noqa: BLE001 - module boundary
+            raise TransformError(f"{self.name} failed: {exc}") from exc
+
+
+class TransformerRegistry:
+    """Extensible suite of transformers with chain planning.
+
+    >>> reg = default_registry()
+    >>> [t.name for t in reg.plan(Modality.IMAGE, Modality.SPEECH)]
+    ['image-to-text', 'text-to-speech']
+    """
+
+    def __init__(self) -> None:
+        self._by_edge: dict[tuple[Modality, Modality], Transformer] = {}
+
+    def register(self, transformer: Transformer) -> None:
+        """Add (or replace) the module for one (source, target) edge."""
+        self._by_edge[(transformer.source, transformer.target)] = transformer
+
+    def get(self, source: Modality, target: Modality) -> Optional[Transformer]:
+        """The direct module for an edge, if any."""
+        return self._by_edge.get((source, target))
+
+    @property
+    def transformers(self) -> list[Transformer]:
+        """All registered modules, deterministic order."""
+        return [self._by_edge[k] for k in sorted(self._by_edge, key=lambda e: (e[0].value, e[1].value))]
+
+    def can_transform(self, source: Modality, target: Modality) -> bool:
+        """Whether some chain links ``source`` to ``target``."""
+        try:
+            self.plan(source, target)
+            return True
+        except TransformError:
+            return False
+
+    def plan(self, source: Modality, target: Modality) -> list[Transformer]:
+        """Cheapest transformation chain (possibly empty if same modality)."""
+        if source == target:
+            return []
+        dist: dict[Modality, float] = {source: 0.0}
+        prev: dict[Modality, Transformer] = {}
+        heap: list[tuple[float, str]] = [(0.0, source.value)]
+        while heap:
+            d, mval = heapq.heappop(heap)
+            m = Modality(mval)
+            if m == target:
+                break
+            if d > dist.get(m, float("inf")):
+                continue
+            for (s, t), tr in self._by_edge.items():
+                if s != m:
+                    continue
+                nd = d + tr.cost
+                if nd < dist.get(t, float("inf")):
+                    dist[t] = nd
+                    prev[t] = tr
+                    heapq.heappush(heap, (nd, t.value))
+        if target not in prev:
+            raise TransformError(f"no transformation chain {source} -> {target}")
+        chain: list[Transformer] = []
+        cur = target
+        while cur != source:
+            tr = prev[cur]
+            chain.append(tr)
+            cur = tr.source
+        chain.reverse()
+        return chain
+
+    def apply(self, payload: Any, source: Modality, target: Modality) -> Any:
+        """Run the cheapest chain end-to-end."""
+        for tr in self.plan(source, target):
+            payload = tr(payload)
+        return payload
+
+
+def default_registry() -> TransformerRegistry:
+    """The suite shipped with the framework (paper's examples).
+
+    * image→sketch (robust segmentation, ~2000× reduction)
+    * image→text (verbal description)
+    * sketch→text (describe the rendered sketch)
+    * text→speech and speech→text (synthetic voice pair)
+    """
+    reg = TransformerRegistry()
+    reg.register(Transformer("image-to-sketch", Modality.IMAGE, Modality.SKETCH, extract_sketch, cost=2.0))
+    reg.register(
+        Transformer("image-to-text", Modality.IMAGE, Modality.TEXT, lambda img: describe_image(img).text, cost=1.5)
+    )
+    reg.register(
+        Transformer(
+            "sketch-to-text",
+            Modality.SKETCH,
+            Modality.TEXT,
+            lambda sk: describe_image(sk.to_image()).text,
+            cost=1.0,
+        )
+    )
+    reg.register(Transformer("text-to-speech", Modality.TEXT, Modality.SPEECH, text_to_speech, cost=1.0))
+    reg.register(Transformer("speech-to-text", Modality.SPEECH, Modality.TEXT, speech_to_text, cost=1.0))
+    return reg

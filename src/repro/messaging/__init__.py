@@ -1,0 +1,38 @@
+"""Semantic publisher/subscriber messaging substrate.
+
+Profile-addressed multicast with an RTP-thin reliability layer; in-process
+(:class:`SemanticBus`) and networked (:class:`SemanticEndpoint`) flavours
+share the receiver-side interpretation semantics.
+"""
+
+from .message import MessageId, SemanticMessage, next_message_id
+from .serialization import WireError, decode_message, encode_message
+from .rtp import (
+    DEFAULT_MTU,
+    RtcpReport,
+    RtpError,
+    RtpPacket,
+    RtpPacketizer,
+    RtpReassembler,
+)
+from .broker import Delivery, SemanticBus, Subscription
+from .transport import SemanticEndpoint
+
+__all__ = [
+    "MessageId",
+    "SemanticMessage",
+    "next_message_id",
+    "WireError",
+    "decode_message",
+    "encode_message",
+    "DEFAULT_MTU",
+    "RtcpReport",
+    "RtpError",
+    "RtpPacket",
+    "RtpPacketizer",
+    "RtpReassembler",
+    "Delivery",
+    "SemanticBus",
+    "Subscription",
+    "SemanticEndpoint",
+]

@@ -1,0 +1,102 @@
+"""In-process semantic bus: the pub/sub substrate without a network.
+
+Useful on its own (single-process collaboration, tests, the quickstart
+example) and as the reference semantics the networked transport must
+match: *delivery is decided at each receiver by interpreting the selector
+against that receiver's current profile* — the bus holds no roster of
+interests, only opaque endpoints to offer every message to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.matching import Decision, MatchResult, interpret
+from ..core.profiles import ClientProfile
+from .message import SemanticMessage
+
+__all__ = ["SemanticBus", "Delivery", "Subscription"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """What a subscriber's callback receives."""
+
+    message: SemanticMessage
+    result: MatchResult
+
+
+class Subscription:
+    """Handle returned by :meth:`SemanticBus.attach`; detach to leave."""
+
+    def __init__(self, bus: "SemanticBus", profile: ClientProfile, callback: Callable[[Delivery], None]) -> None:
+        self.bus = bus
+        self.profile = profile
+        self.callback = callback
+        self.active = True
+        # per-subscriber observability
+        self.accepted = 0
+        self.transformed = 0
+        self.rejected = 0
+
+    def detach(self) -> None:
+        """Leave the session (idempotent)."""
+        if self.active:
+            self.bus._detach(self)
+            self.active = False
+
+
+class SemanticBus:
+    """Profile-addressed multicast dispatch.
+
+    >>> from repro.core.profiles import ClientProfile
+    >>> bus = SemanticBus()
+    >>> got = []
+    >>> p = ClientProfile("a", {"role": "medic"})
+    >>> sub = bus.attach(p, lambda d: got.append(d.message.kind))
+    >>> _ = bus.publish(SemanticMessage.create("b", "role == 'medic'", kind="alert"))
+    >>> got
+    ['alert']
+    """
+
+    def __init__(self) -> None:
+        self._subs: list[Subscription] = []
+        self.published = 0
+
+    def attach(self, profile: ClientProfile, callback: Callable[[Delivery], None]) -> Subscription:
+        """Join the bus with a profile and a delivery callback."""
+        sub = Subscription(self, profile, callback)
+        self._subs.append(sub)
+        return sub
+
+    def _detach(self, sub: Subscription) -> None:
+        self._subs.remove(sub)
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._subs)
+
+    def publish(self, message: SemanticMessage, exclude: Optional[ClientProfile] = None) -> int:
+        """Offer ``message`` to every endpoint; returns acceptances.
+
+        ``exclude`` suppresses sender loopback (a client does not
+        re-receive its own events).
+        """
+        self.published += 1
+        delivered = 0
+        headers = message.effective_headers()
+        for sub in list(self._subs):
+            if exclude is not None and sub.profile is exclude:
+                continue
+            result = interpret(message.selector, headers, sub.profile)
+            if result.decision is Decision.REJECT:
+                sub.rejected += 1
+                continue
+            if result.decision is Decision.ACCEPT_WITH_TRANSFORM:
+                sub.transformed += 1
+            else:
+                sub.accepted += 1
+            delivered += 1
+            sub.callback(Delivery(message, result))
+        return delivered

@@ -1,0 +1,235 @@
+"""RTP/RTCP-thin layer: fragmentation, reordering, reassembly, reports.
+
+"A thin layer based on the RTP-RTCP scheme is built on top of the
+communication substrate to provide limited in-order delivery assurance.
+Data messages containing information such as images ... require
+transmission of several data packets.  Reliable and ordered delivery of
+these packets is critical" (paper Sec. 5.1).
+
+* :class:`RtpPacketizer` splits an application payload into MTU-sized
+  fragments, each with a 16-byte header (ssrc, seq, message seq,
+  fragment index/count).
+* :class:`RtpReassembler` reorders fragments per message, detects loss,
+  completes messages, and produces RTCP-style receiver reports (fraction
+  lost, cumulative lost, highest seq, interarrival jitter).
+* Optional NACK support: the reassembler reports missing fragments so a
+  caller can request retransmission (used by the image viewer when the
+  inference engine demands full delivery of the accepted prefix).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = [
+    "RtpPacket",
+    "RtpPacketizer",
+    "RtpReassembler",
+    "RtcpReport",
+    "RtpError",
+    "DEFAULT_MTU",
+]
+
+#: Fragment payload budget; a LAN-ish MTU minus our header.
+DEFAULT_MTU = 1400
+
+_HEADER = struct.Struct(">IIHHI")  # ssrc, msg_seq, frag_index, frag_count, seq
+HEADER_SIZE = _HEADER.size
+
+
+class RtpError(ValueError):
+    """Raised on malformed RTP fragments."""
+
+
+@dataclass(frozen=True)
+class RtpPacket:
+    """One wire fragment."""
+
+    ssrc: int
+    msg_seq: int
+    frag_index: int
+    frag_count: int
+    seq: int          # global per-sender sequence number (loss detection)
+    payload: bytes
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(self.ssrc, self.msg_seq, self.frag_index, self.frag_count, self.seq) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RtpPacket":
+        if len(data) < HEADER_SIZE:
+            raise RtpError(f"fragment shorter than header: {len(data)}")
+        ssrc, msg_seq, frag_index, frag_count, seq = _HEADER.unpack_from(data)
+        if frag_count == 0 or frag_index >= frag_count:
+            raise RtpError(f"bad fragment indices {frag_index}/{frag_count}")
+        return cls(ssrc, msg_seq, frag_index, frag_count, seq, data[HEADER_SIZE:])
+
+
+class RtpPacketizer:
+    """Sender side: application payload → sequence of fragments."""
+
+    def __init__(self, ssrc: int, mtu: int = DEFAULT_MTU) -> None:
+        if mtu <= HEADER_SIZE:
+            raise RtpError(f"mtu must exceed header size {HEADER_SIZE}")
+        self.ssrc = ssrc
+        self.mtu = mtu
+        self._msg_seq = 0
+        self._seq = 0
+
+    def packetize(self, payload: bytes) -> list[RtpPacket]:
+        """Fragment ``payload``; empty payloads still produce one fragment."""
+        budget = self.mtu - HEADER_SIZE
+        chunks = [payload[i : i + budget] for i in range(0, len(payload), budget)] or [b""]
+        if len(chunks) > 0xFFFF:
+            raise RtpError("payload needs too many fragments")
+        msg_seq = self._msg_seq
+        self._msg_seq = (self._msg_seq + 1) & 0xFFFFFFFF
+        out = []
+        for idx, chunk in enumerate(chunks):
+            out.append(
+                RtpPacket(self.ssrc, msg_seq, idx, len(chunks), self._seq, chunk)
+            )
+            self._seq = (self._seq + 1) & 0xFFFFFFFF
+        return out
+
+
+@dataclass
+class RtcpReport:
+    """Receiver-side statistics in RTCP RR spirit."""
+
+    ssrc: int
+    packets_received: int
+    packets_expected: int
+    cumulative_lost: int
+    highest_seq: int
+    fraction_lost: float
+    messages_completed: int
+    messages_abandoned: int
+
+
+@dataclass
+class _PartialMessage:
+    frag_count: int
+    fragments: dict[int, bytes] = field(default_factory=dict)
+    first_seen: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.fragments) == self.frag_count
+
+    def assemble(self) -> bytes:
+        return b"".join(self.fragments[i] for i in range(self.frag_count))
+
+    def missing(self) -> list[int]:
+        return [i for i in range(self.frag_count) if i not in self.fragments]
+
+
+class RtpReassembler:
+    """Receiver side: fragments → complete payloads, per source (ssrc).
+
+    Parameters
+    ----------
+    on_message:
+        Called with ``(ssrc, payload_bytes)`` when a message completes.
+    on_gap:
+        Optional NACK hook: called with ``(ssrc, msg_seq, missing_indices)``
+        when :meth:`expire` abandons an incomplete message.
+    reorder_window:
+        Messages older than this many message-seqs behind the newest are
+        abandoned on :meth:`expire` (bounded memory under loss).
+    """
+
+    def __init__(
+        self,
+        on_message: Callable[[int, bytes], None],
+        on_gap: Optional[Callable[[int, int, list[int]], None]] = None,
+        reorder_window: int = 64,
+    ) -> None:
+        self.on_message = on_message
+        self.on_gap = on_gap
+        self.reorder_window = reorder_window
+        self._partial: dict[tuple[int, int], _PartialMessage] = {}
+        self._stats: dict[int, dict] = {}
+        self._delivered: set[tuple[int, int]] = set()
+
+    def _stat(self, ssrc: int) -> dict:
+        return self._stats.setdefault(
+            ssrc,
+            {
+                "received": 0,
+                "highest_seq": -1,
+                "completed": 0,
+                "abandoned": 0,
+                "newest_msg": -1,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def ingest(self, data: bytes, now: float = 0.0) -> None:
+        """Feed one wire fragment (possibly out of order or duplicated)."""
+        pkt = RtpPacket.decode(data)
+        st = self._stat(pkt.ssrc)
+        st["received"] += 1
+        st["highest_seq"] = max(st["highest_seq"], pkt.seq)
+        st["newest_msg"] = max(st["newest_msg"], pkt.msg_seq)
+        key = (pkt.ssrc, pkt.msg_seq)
+        if key in self._delivered:
+            return  # duplicate fragment of an already-delivered message
+        part = self._partial.get(key)
+        if part is None:
+            part = _PartialMessage(pkt.frag_count, first_seen=now)
+            self._partial[key] = part
+        elif part.frag_count != pkt.frag_count:
+            raise RtpError(f"inconsistent frag_count for message {key}")
+        part.fragments[pkt.frag_index] = pkt.payload  # dup fragment overwrites
+        if part.complete:
+            payload = part.assemble()
+            del self._partial[key]
+            self._delivered.add(key)
+            st["completed"] += 1
+            self.on_message(pkt.ssrc, payload)
+
+    def expire(self) -> int:
+        """Abandon partial messages outside the reorder window.
+
+        Returns the number abandoned; fires ``on_gap`` for each so callers
+        can NACK or account the loss.
+        """
+        abandoned = 0
+        for key in sorted(self._partial):
+            ssrc, msg_seq = key
+            st = self._stat(ssrc)
+            if st["newest_msg"] - msg_seq > self.reorder_window:
+                part = self._partial.pop(key)
+                st["abandoned"] += 1
+                abandoned += 1
+                if self.on_gap is not None:
+                    self.on_gap(ssrc, msg_seq, part.missing())
+        return abandoned
+
+    def pending(self, ssrc: int) -> list[tuple[int, list[int]]]:
+        """Incomplete messages for a source: (msg_seq, missing indices)."""
+        return [
+            (msg_seq, part.missing())
+            for (s, msg_seq), part in sorted(self._partial.items())
+            if s == ssrc
+        ]
+
+    # ------------------------------------------------------------------
+    def report(self, ssrc: int) -> RtcpReport:
+        """RTCP-style receiver report for one source."""
+        st = self._stat(ssrc)
+        expected = st["highest_seq"] + 1 if st["highest_seq"] >= 0 else 0
+        lost = max(0, expected - st["received"])
+        return RtcpReport(
+            ssrc=ssrc,
+            packets_received=st["received"],
+            packets_expected=expected,
+            cumulative_lost=lost,
+            highest_seq=st["highest_seq"],
+            fraction_lost=(lost / expected) if expected else 0.0,
+            messages_completed=st["completed"],
+            messages_abandoned=st["abandoned"],
+        )

@@ -1,0 +1,149 @@
+"""Networked transport: semantic messages over RTP over simulated multicast.
+
+This is the client's *event communication module* wire path (paper
+Sec. 5.3): outgoing messages are serialized, fragmented by the RTP-thin
+layer and multicast; incoming fragments are reassembled, decoded, and
+semantically interpreted against the local profile before anything
+reaches the application.
+
+Unicast is also supported (base station ↔ wireless client legs).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Optional
+
+from ..core.matching import Decision, MatchResult, interpret
+from ..core.profiles import ClientProfile
+from ..network.clock import Scheduler
+from ..network.multicast import MulticastGroup, MulticastSocket
+from ..network.simnet import Network
+from .broker import Delivery
+from .message import SemanticMessage
+from .rtp import DEFAULT_MTU, RtpPacketizer, RtpReassembler
+from .serialization import decode_message, encode_message
+
+__all__ = ["SemanticEndpoint"]
+
+
+class SemanticEndpoint:
+    """One host's attachment of the semantic substrate to the network.
+
+    Parameters
+    ----------
+    network, host, group:
+        Where to attach; the endpoint joins ``group`` on ``host``.
+    profile:
+        The local profile all incoming messages are interpreted against.
+    on_delivery:
+        Application callback for accepted messages.
+    promiscuous:
+        When true, rejected messages are also surfaced (``on_rejected``) —
+        the base station uses this to interpret *on behalf of* its
+        wireless clients.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        group: MulticastGroup,
+        profile: ClientProfile,
+        on_delivery: Callable[[Delivery], None],
+        mtu: int = DEFAULT_MTU,
+        expire_interval: float = 0.5,
+        on_rejected: Optional[Callable[[SemanticMessage], None]] = None,
+        promiscuous: bool = False,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.profile = profile
+        self.on_delivery = on_delivery
+        self.on_rejected = on_rejected
+        self.promiscuous = promiscuous
+        self._socket = MulticastSocket(network, host, group, on_receive=self._on_datagram)
+        ssrc = zlib.crc32(f"{host}:{self._socket.local_port}".encode()) & 0xFFFFFFFF
+        self._packetizer = RtpPacketizer(ssrc, mtu=mtu)
+        self._reassembler = RtpReassembler(self._on_payload)
+        self.scheduler: Scheduler = network.scheduler
+        self._expire_interval = expire_interval
+        self._expire_event = self.scheduler.call_after(expire_interval, self._expire_tick)
+        self._closed = False
+        # observability
+        self.sent_messages = 0
+        self.sent_fragments = 0
+        self.received_messages = 0
+        self.accepted_messages = 0
+
+    @property
+    def ssrc(self) -> int:
+        """This endpoint's RTP source identifier."""
+        return self._packetizer.ssrc
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) other endpoints can unicast to."""
+        return (self.host, self._socket.local_port)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def publish(self, message: SemanticMessage) -> int:
+        """Multicast a message to the session; returns fragments sent."""
+        if self._closed:
+            raise RuntimeError("endpoint is closed")
+        wire = encode_message(message)
+        fragments = self._packetizer.packetize(wire)
+        for frag in fragments:
+            self._socket.send(frag.encode())
+        self.sent_messages += 1
+        self.sent_fragments += len(fragments)
+        return len(fragments)
+
+    def unicast(self, message: SemanticMessage, dest: tuple[str, int]) -> int:
+        """Point-to-point send (BS → wireless client leg)."""
+        if self._closed:
+            raise RuntimeError("endpoint is closed")
+        wire = encode_message(message)
+        fragments = self._packetizer.packetize(wire)
+        for frag in fragments:
+            self._socket.unicast(frag.encode(), dest)
+        self.sent_messages += 1
+        self.sent_fragments += len(fragments)
+        return len(fragments)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes, src: tuple[str, int]) -> None:
+        self._reassembler.ingest(data, now=self.scheduler.clock.now)
+
+    def _on_payload(self, ssrc: int, payload: bytes) -> None:
+        message = decode_message(payload)
+        self.received_messages += 1
+        result = interpret(message.selector, message.effective_headers(), self.profile)
+        if result.decision is Decision.REJECT:
+            if self.promiscuous and self.on_rejected is not None:
+                self.on_rejected(message)
+            return
+        self.accepted_messages += 1
+        self.on_delivery(Delivery(message, result))
+
+    def _expire_tick(self) -> None:
+        if self._closed:
+            return
+        self._reassembler.expire()
+        self._expire_event = self.scheduler.call_after(self._expire_interval, self._expire_tick)
+
+    # ------------------------------------------------------------------
+    def reception_report(self, ssrc: int):
+        """RTCP-style stats for a peer source."""
+        return self._reassembler.report(ssrc)
+
+    def close(self) -> None:
+        """Leave the group and stop housekeeping."""
+        if not self._closed:
+            self._closed = True
+            self._expire_event.cancel()
+            self._socket.leave()

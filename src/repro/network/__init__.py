@@ -1,0 +1,26 @@
+"""Simulated network substrate: discrete-event clock, links, UDP, multicast.
+
+Replaces the paper's physical LAN testbed with a reproducible packet-level
+simulator (see DESIGN.md §3 for the substitution argument).
+"""
+
+from .clock import Event, Scheduler, SimClock, SimulationError
+from .simnet import Address, Link, Network, NetworkError, Node, Packet
+from .udp import DatagramSocket
+from .multicast import MulticastGroup, MulticastSocket
+
+__all__ = [
+    "Event",
+    "Scheduler",
+    "SimClock",
+    "SimulationError",
+    "Address",
+    "Link",
+    "Network",
+    "NetworkError",
+    "Node",
+    "Packet",
+    "DatagramSocket",
+    "MulticastGroup",
+    "MulticastSocket",
+]

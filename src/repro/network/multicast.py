@@ -1,0 +1,126 @@
+"""IP-multicast-style group delivery over the simulated network.
+
+The collaboration session rides on "the omnipresence of IP [multicast] on
+different physical media" (paper Sec. 5.1).  We model a multicast group as
+a membership registry keyed by a group address (``"239.x.y.z"`` style
+string); a send to the group fans out as per-member unicast through the
+simulator, which matches the observable semantics (independent per-path
+delay/loss, sender does not receive its own datagram unless loopback is
+requested).
+
+The registry lives outside any single node because real multicast
+membership is a network-layer concern (IGMP), not an end-host table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .simnet import Address, Network, NetworkError, Packet
+from .udp import DatagramSocket
+
+__all__ = ["MulticastGroup", "MulticastSocket"]
+
+
+class MulticastGroup:
+    """Membership registry for one group address + port."""
+
+    def __init__(self, network: Network, group: str, port: int) -> None:
+        self.network = network
+        self.group = group
+        self.port = port
+        self._members: dict[tuple[Address, int], "MulticastSocket"] = {}
+
+    def join(self, sock: "MulticastSocket") -> None:
+        key = (sock.host, sock.local_port)
+        if key in self._members:
+            raise NetworkError(f"{key} already joined {self.group}")
+        self._members[key] = sock
+
+    def leave(self, sock: "MulticastSocket") -> None:
+        self._members.pop((sock.host, sock.local_port), None)
+
+    @property
+    def members(self) -> list[tuple[Address, int]]:
+        """Current members as (host, port) pairs, sorted for determinism."""
+        return sorted(self._members)
+
+    def fan_out(self, data: bytes, sender: "MulticastSocket", loopback: bool) -> int:
+        """Unicast ``data`` to every member; returns datagrams scheduled."""
+        n = 0
+        for key in self.members:
+            if not loopback and key == (sender.host, sender.local_port):
+                continue
+            member = self._members[key]
+            pkt = Packet(sender.host, sender.local_port, member.host, member.local_port, bytes(data))
+            if self.network.send(pkt):
+                n += 1
+        return n
+
+
+class MulticastSocket:
+    """A socket joined to a multicast group.
+
+    Built on :class:`~repro.network.udp.DatagramSocket`; each member binds
+    a distinct local port (the simulator has no SO_REUSEADDR port sharing)
+    and the group registry handles fan-out.  Receive is callback-style:
+    ``on_receive(data, (src_host, src_port))``.
+
+    Example
+    -------
+    >>> from repro.network.clock import Scheduler
+    >>> sched = Scheduler(); net = Network(sched)
+    >>> for n in ("a", "b", "c"): _ = net.add_node(n)
+    >>> _ = net.add_link("a", "b"); _ = net.add_link("b", "c")
+    >>> grp = MulticastGroup(net, "239.1.1.1", 5000)
+    >>> seen = []
+    >>> socks = [MulticastSocket(net, h, grp,
+    ...          on_receive=lambda d, s, h=h: seen.append((h, d)))
+    ...          for h in ("a", "b", "c")]
+    >>> _ = socks[0].send(b"ev")
+    >>> _ = sched.run()
+    >>> sorted(seen)
+    [('b', b'ev'), ('c', b'ev')]
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Address,
+        group: MulticastGroup,
+        on_receive: Optional[Callable[[bytes, tuple[Address, int]], None]] = None,
+        loopback: bool = False,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.group = group
+        self.loopback = loopback
+        self._sock = DatagramSocket(network, host)
+        self._sock.bind_ephemeral()
+        self._sock.on_receive = self._dispatch
+        self.on_receive = on_receive
+        group.join(self)
+
+    @property
+    def local_port(self) -> int:
+        return self._sock.port  # type: ignore[return-value]
+
+    def _dispatch(self, data: bytes, src: tuple[Address, int]) -> None:
+        if self.on_receive is not None:
+            self.on_receive(data, src)
+
+    def send(self, data: bytes) -> int:
+        """Multicast ``data`` to the group; returns datagrams scheduled."""
+        return self.group.fan_out(data, self, self.loopback)
+
+    def unicast(self, data: bytes, dest: tuple[Address, int]) -> bool:
+        """Point-to-point send from the same local port (BS→wireless path)."""
+        return self._sock.sendto(data, dest)
+
+    def leave(self) -> None:
+        """Leave the group and release the underlying socket."""
+        self.group.leave(self)
+        self._sock.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MulticastSocket({self.host}:{self.local_port} in {self.group.group})"

@@ -1,0 +1,357 @@
+"""Simulated packet network: nodes, links, routing, datagram delivery.
+
+The paper's testbed was "several Windows NT workstations on the local
+network".  We replace the physical LAN with a controllable packet-level
+simulator: a graph of :class:`Node` objects joined by :class:`Link` objects
+carrying bandwidth, propagation latency, jitter and loss.  Datagram
+delivery computes the shortest (lowest-latency) path, samples per-link loss
+and jitter, sums serialization + propagation delay, and schedules delivery
+on the shared :class:`~repro.network.clock.Scheduler`.
+
+This deliberately models only what the framework above it observes —
+datagram semantics (delay, reorder, loss) and per-interface counters that
+the SNMP agent exports (``ifInOctets``-style octet counts).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from .clock import Scheduler, SimulationError
+
+__all__ = ["Address", "Link", "Node", "Network", "NetworkError", "Packet"]
+
+#: A network address is just a string host name; ports live in udp.py.
+Address = str
+
+
+class NetworkError(RuntimeError):
+    """Raised for malformed topology operations or unroutable sends."""
+
+
+@dataclass
+class Packet:
+    """A datagram in flight.
+
+    ``payload`` is opaque ``bytes``; ``src``/``dst`` are host names and the
+    port pair is carried for the socket layer to demultiplex.
+    """
+
+    src: Address
+    src_port: int
+    dst: Address
+    dst_port: int
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        """Size in bytes used for serialization-delay computation.
+
+        Includes a 28-byte IP+UDP header allowance so that tiny payloads
+        still cost non-zero wire time, as on a real network.
+        """
+        return len(self.payload) + 28
+
+
+@dataclass
+class Link:
+    """A bidirectional link between two nodes.
+
+    Parameters
+    ----------
+    bandwidth:
+        Capacity in bytes/second.  ``float("inf")`` means no serialization
+        delay.
+    latency:
+        One-way propagation delay in seconds.
+    jitter:
+        Standard deviation of a truncated-Gaussian perturbation added to
+        the propagation delay (never allowed to make delay negative).
+    loss:
+        Independent per-packet drop probability in ``[0, 1)``.
+    """
+
+    a: Address
+    b: Address
+    bandwidth: float = float("inf")
+    latency: float = 0.0005
+    jitter: float = 0.0
+    loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if self.latency < 0 or self.jitter < 0:
+            raise NetworkError("latency and jitter must be non-negative")
+        if not (0.0 <= self.loss < 1.0):
+            raise NetworkError("loss must be in [0, 1)")
+        # Cumulative counters, exported through the SNMP host agent.
+        self.tx_octets: int = 0
+        self.rx_octets: int = 0
+        self.dropped_packets: int = 0
+        self.delivered_packets: int = 0
+        # FIFO transmission queue state per direction (keyed by src node):
+        # the virtual time the transmitter becomes free again.
+        self._busy_until: dict[Address, float] = {}
+        #: optional size-dependent loss model: ``loss_fn(size_bytes) -> p``.
+        #: When set it overrides the scalar ``loss`` (used by the coupled
+        #: wireless channel, where small frames ride a robust base rate).
+        self.loss_fn = None
+
+    def other(self, node: Address) -> Address:
+        """The peer endpoint of ``node`` on this link."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise NetworkError(f"{node!r} is not an endpoint of {self!r}")
+
+    def transit_delay(self, size: int, rng: np.random.Generator) -> float:
+        """Serialization + propagation (+ jitter) delay for ``size`` bytes."""
+        ser = 0.0 if self.bandwidth == float("inf") else size / self.bandwidth
+        delay = ser + self.latency
+        if self.jitter > 0.0:
+            delay += abs(float(rng.normal(0.0, self.jitter)))
+        return delay
+
+    def enqueue(self, src: Address, now: float, size: int, rng: np.random.Generator) -> float:
+        """FIFO transmission: departure-complete time for ``size`` bytes.
+
+        Packets entering the same link direction back-to-back serialize
+        one after another (models congestion delay and preserves per-link
+        FIFO order, which the RTP layer and reassembly depend on).
+        Returns the absolute time the packet finishes the link (including
+        propagation + jitter).
+        """
+        ser = 0.0 if self.bandwidth == float("inf") else size / self.bandwidth
+        start = max(now, self._busy_until.get(src, 0.0))
+        self._busy_until[src] = start + ser
+        delay = self.latency
+        if self.jitter > 0.0:
+            delay += abs(float(rng.normal(0.0, self.jitter)))
+        return start + ser + delay
+
+
+class Node:
+    """A host attached to the network.
+
+    Sockets register receive callbacks keyed by port through
+    :mod:`repro.network.udp`; the node only demultiplexes.
+    """
+
+    def __init__(self, name: Address, network: "Network") -> None:
+        self.name = name
+        self.network = network
+        self._port_handlers: dict[int, Callable[[Packet], None]] = {}
+
+    def bind(self, port: int, handler: Callable[[Packet], None]) -> None:
+        """Attach ``handler`` to ``port``.  One handler per port."""
+        if port in self._port_handlers:
+            raise NetworkError(f"port {port} already bound on {self.name}")
+        self._port_handlers[port] = handler
+
+    def unbind(self, port: int) -> None:
+        """Release ``port``.  Unknown ports are ignored."""
+        self._port_handlers.pop(port, None)
+
+    def deliver(self, packet: Packet) -> None:
+        """Hand an arriving packet to the bound socket, if any.
+
+        Packets to unbound ports are silently discarded (as UDP does).
+        """
+        handler = self._port_handlers.get(packet.dst_port)
+        if handler is not None:
+            handler(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.name!r}, ports={sorted(self._port_handlers)})"
+
+
+class Network:
+    """A routable graph of nodes and links with datagram delivery.
+
+    Example
+    -------
+    >>> sched = Scheduler()
+    >>> net = Network(sched, seed=7)
+    >>> _ = net.add_node("alice"); _ = net.add_node("bob")
+    >>> _ = net.add_link("alice", "bob", latency=0.001)
+    >>> got = []
+    >>> net.node("bob").bind(9, lambda p: got.append(p.payload))
+    >>> net.send(Packet("alice", 1, "bob", 9, b"hi"))
+    True
+    >>> _ = sched.run(); got
+    [b'hi']
+    """
+
+    def __init__(self, scheduler: Scheduler, seed: int = 0) -> None:
+        self.scheduler = scheduler
+        self.rng = np.random.default_rng(seed)
+        self._nodes: dict[Address, Node] = {}
+        self._links: dict[frozenset, Link] = {}
+        self._adj: dict[Address, set[Address]] = {}
+        self._route_cache: dict[tuple[Address, Address], Optional[list[Link]]] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_node(self, name: Address) -> Node:
+        """Create and register a node.  Names must be unique."""
+        if name in self._nodes:
+            raise NetworkError(f"duplicate node {name!r}")
+        node = Node(name, self)
+        self._nodes[name] = node
+        self._adj[name] = set()
+        self._route_cache.clear()
+        return node
+
+    def add_link(self, a: Address, b: Address, **kwargs) -> Link:
+        """Join two existing nodes with a link (kwargs → :class:`Link`)."""
+        if a not in self._nodes or b not in self._nodes:
+            raise NetworkError(f"both endpoints must exist: {a!r}, {b!r}")
+        if a == b:
+            raise NetworkError("self-links are not allowed")
+        key = frozenset((a, b))
+        if key in self._links:
+            raise NetworkError(f"link {a!r}-{b!r} already exists")
+        link = Link(a, b, **kwargs)
+        self._links[key] = link
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+        self._route_cache.clear()
+        return link
+
+    def remove_link(self, a: Address, b: Address) -> None:
+        """Tear down a link (models partition / roaming disconnect)."""
+        key = frozenset((a, b))
+        if key not in self._links:
+            raise NetworkError(f"no link {a!r}-{b!r}")
+        del self._links[key]
+        self._adj[a].discard(b)
+        self._adj[b].discard(a)
+        self._route_cache.clear()
+
+    def node(self, name: Address) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def link(self, a: Address, b: Address) -> Link:
+        """Look up the link between two adjacent nodes."""
+        try:
+            return self._links[frozenset((a, b))]
+        except KeyError:
+            raise NetworkError(f"no link {a!r}-{b!r}") from None
+
+    @property
+    def nodes(self) -> list[Address]:
+        """All node names, sorted for determinism."""
+        return sorted(self._nodes)
+
+    @property
+    def links(self) -> list[Link]:
+        """All links (order deterministic by endpoint names)."""
+        return [self._links[k] for k in sorted(self._links, key=sorted)]
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, src: Address, dst: Address) -> Optional[list[Link]]:
+        """Lowest-latency path from ``src`` to ``dst`` (Dijkstra), or None.
+
+        Routes are cached and the cache is invalidated on any topology
+        change.
+        """
+        if src not in self._nodes or dst not in self._nodes:
+            raise NetworkError(f"unknown endpoint: {src!r} or {dst!r}")
+        if src == dst:
+            return []
+        cached = self._route_cache.get((src, dst))
+        if cached is not None or (src, dst) in self._route_cache:
+            return cached
+        dist: dict[Address, float] = {src: 0.0}
+        prev: dict[Address, Address] = {}
+        heap: list[tuple[float, Address]] = [(0.0, src)]
+        visited: set[Address] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in visited:
+                continue
+            visited.add(u)
+            if u == dst:
+                break
+            for v in sorted(self._adj[u]):
+                w = self._links[frozenset((u, v))].latency
+                nd = d + w
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        if dst not in dist:
+            self._route_cache[(src, dst)] = None
+            return None
+        path: list[Link] = []
+        cur = dst
+        while cur != src:
+            p = prev[cur]
+            path.append(self._links[frozenset((p, cur))])
+            cur = p
+        path.reverse()
+        self._route_cache[(src, dst)] = path
+        return path
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Inject a datagram.
+
+        Returns ``True`` if the packet was scheduled for delivery and
+        ``False`` if it was dropped en route (per-link loss) or unroutable.
+        Loss is decided at send time for simplicity; the delay of a dropped
+        packet is irrelevant to any observer.
+        """
+        path = self.route(packet.src, packet.dst)
+        if path is None:
+            return False
+        if not path:  # self-delivery, still asynchronous
+            self.scheduler.call_after(
+                0.0, self._nodes[packet.dst].deliver, packet
+            )
+            return True
+        t = self.scheduler.clock.now
+        hop_src = packet.src
+        for link in path:
+            link.tx_octets += packet.size
+            p_loss = link.loss_fn(packet.size) if link.loss_fn is not None else link.loss
+            if p_loss > 0.0 and self.rng.random() < p_loss:
+                link.dropped_packets += 1
+                return False
+            t = link.enqueue(hop_src, t, packet.size, self.rng)
+            link.rx_octets += packet.size
+            hop_src = link.other(hop_src)
+        path[-1].delivered_packets += 1
+        self.scheduler.call_at(t, self._nodes[packet.dst].deliver, packet)
+        return True
+
+    def path_latency(self, src: Address, dst: Address) -> float:
+        """Sum of nominal link latencies along the routed path (no jitter)."""
+        path = self.route(src, dst)
+        if path is None:
+            raise NetworkError(f"no route {src!r} -> {dst!r}")
+        return sum(l.latency for l in path)
+
+    def path_bandwidth(self, src: Address, dst: Address) -> float:
+        """Bottleneck bandwidth along the routed path in bytes/second."""
+        path = self.route(src, dst)
+        if path is None:
+            raise NetworkError(f"no route {src!r} -> {dst!r}")
+        if not path:
+            return float("inf")
+        return min(l.bandwidth for l in path)

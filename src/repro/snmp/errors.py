@@ -1,0 +1,65 @@
+"""SNMP protocol error statuses and Python exception types."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ErrorStatus",
+    "SnmpError",
+    "SnmpTimeout",
+    "SnmpProtocolError",
+    "SnmpErrorResponse",
+]
+
+
+class ErrorStatus:
+    """RFC 1157 error-status codes carried in response PDUs."""
+
+    NO_ERROR = 0
+    TOO_BIG = 1
+    NO_SUCH_NAME = 2
+    BAD_VALUE = 3
+    READ_ONLY = 4
+    GEN_ERR = 5
+
+    _NAMES = {
+        0: "noError",
+        1: "tooBig",
+        2: "noSuchName",
+        3: "badValue",
+        4: "readOnly",
+        5: "genErr",
+    }
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        """Human-readable name for a status code."""
+        return cls._NAMES.get(code, f"unknown({code})")
+
+
+class SnmpError(RuntimeError):
+    """Base class for all SNMP failures."""
+
+
+class SnmpTimeout(SnmpError):
+    """The manager exhausted retries without a response."""
+
+
+class SnmpProtocolError(SnmpError):
+    """A malformed or unexpected message was received."""
+
+
+class SnmpErrorResponse(SnmpError):
+    """The agent answered with a non-zero error-status.
+
+    Attributes
+    ----------
+    status:
+        The RFC 1157 error-status code.
+    index:
+        1-based varbind index the error refers to (0 if unspecified).
+    """
+
+    def __init__(self, status: int, index: int = 0) -> None:
+        super().__init__(f"{ErrorStatus.name(status)} (index {index})")
+        self.status = status
+        self.index = index

@@ -1,0 +1,253 @@
+"""SNMP manager: the framework's window onto network/system state.
+
+"The current implementation of the network state interface uses [SNMP] ...
+It uses the IP address of the network element, the community string, and
+the object identifier (OID) of the parameters of interest (bandwidth, CPU
+load, page-faults, etc.) to directly query the SNMP MIB" (paper Sec. 5.5).
+
+The manager issues GET / GETNEXT / SET requests through a datagram socket
+and, because the whole substrate is a single-threaded discrete-event
+simulation, *pumps the shared scheduler* while waiting — a synchronous
+surface over an asynchronous wire, with virtual-time timeouts and retries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence as Seq
+
+from ..network.clock import Scheduler
+from ..network.udp import DatagramSocket
+from .agent import (
+    PDU_GET,
+    PDU_GETBULK,
+    PDU_GETNEXT,
+    PDU_RESPONSE,
+    PDU_SET,
+    SNMP_PORT,
+    VERSION_2C,
+)
+from .ber import (
+    BerError,
+    Integer,
+    Null,
+    ObjectIdentifierValue,
+    OctetString,
+    Sequence,
+    TaggedPdu,
+    decode,
+    encode,
+)
+from .errors import ErrorStatus, SnmpErrorResponse, SnmpProtocolError, SnmpTimeout
+from .oids import OID
+
+__all__ = ["SnmpManager", "VarBind"]
+
+#: A (oid, value) result pair.
+VarBind = tuple[OID, object]
+
+
+class SnmpManager:
+    """Issues SNMP requests and synchronously collects replies.
+
+    Parameters
+    ----------
+    socket:
+        An unbound :class:`~repro.network.udp.DatagramSocket` on the
+        management station's host.
+    scheduler:
+        The shared simulation scheduler; pumped while waiting for replies.
+    community:
+        Community string presented with every request.
+    timeout / retries:
+        Virtual-time seconds to wait per attempt, and attempts beyond the
+        first before raising :class:`~repro.snmp.errors.SnmpTimeout`.
+    """
+
+    def __init__(
+        self,
+        socket: DatagramSocket,
+        scheduler: Scheduler,
+        community: str = "public",
+        timeout: float = 1.0,
+        retries: int = 2,
+        version: int = VERSION_2C,
+    ) -> None:
+        self._sock = socket
+        if self._sock.port is None:
+            self._sock.bind_ephemeral()
+        self._sock.on_receive = self._on_datagram
+        self.scheduler = scheduler
+        self.community = community
+        self.timeout = timeout
+        self.retries = retries
+        self.version = version
+        self._next_request_id = 1
+        self._responses: dict[int, TaggedPdu] = {}
+        # observability
+        self.requests_sent = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # wire handling
+    # ------------------------------------------------------------------
+    def _on_datagram(self, data: bytes, src: tuple[str, int]) -> None:
+        try:
+            msg, _ = decode(data)
+        except BerError:
+            return
+        if not isinstance(msg, Sequence) or len(msg.items) != 3:
+            return
+        pdu = msg.items[2]
+        if not isinstance(pdu, TaggedPdu) or pdu.tag_value != PDU_RESPONSE:
+            return
+        if len(pdu.items) != 4 or not isinstance(pdu.items[0], Integer):
+            return
+        self._responses[pdu.items[0].value] = pdu
+
+    def _request(
+        self,
+        agent: tuple[str, int],
+        pdu_tag: int,
+        varbinds: Seq[tuple[OID, object]],
+        slot1: int = 0,
+        slot2: int = 0,
+    ) -> list[VarBind]:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        vb_seq = Sequence(
+            tuple(Sequence((oid.to_ber(), value)) for oid, value in varbinds)
+        )
+        message = Sequence(
+            (
+                Integer(self.version),
+                OctetString(self.community.encode("latin-1")),
+                TaggedPdu(
+                    pdu_tag,
+                    (Integer(request_id), Integer(slot1), Integer(slot2), vb_seq),
+                ),
+            )
+        )
+        wire = encode(message)
+
+        for _attempt in range(self.retries + 1):
+            self.requests_sent += 1
+            self._sock.sendto(wire, agent)
+            deadline = self.scheduler.clock.now + self.timeout
+            # Pump the simulation until our response lands or time expires.
+            while self.scheduler.clock.now < deadline:
+                if request_id in self._responses:
+                    break
+                if not self.scheduler.step():
+                    break  # event queue drained: nothing more can arrive
+                if self.scheduler.clock.now > deadline:
+                    break
+            if request_id in self._responses:
+                return self._parse_response(self._responses.pop(request_id))
+            self.timeouts += 1
+        raise SnmpTimeout(f"no response from {agent} after {self.retries + 1} attempts")
+
+    @staticmethod
+    def _parse_response(pdu: TaggedPdu) -> list[VarBind]:
+        _rid, status, index, vb_list = pdu.items
+        if not isinstance(status, Integer) or not isinstance(index, Integer):
+            raise SnmpProtocolError("malformed response PDU")
+        if status.value != ErrorStatus.NO_ERROR:
+            raise SnmpErrorResponse(status.value, index.value)
+        if not isinstance(vb_list, Sequence):
+            raise SnmpProtocolError("malformed varbind list")
+        out: list[VarBind] = []
+        for vb in vb_list.items:
+            if not isinstance(vb, Sequence) or len(vb.items) != 2:
+                raise SnmpProtocolError("malformed varbind")
+            name, value = vb.items
+            if not isinstance(name, ObjectIdentifierValue):
+                raise SnmpProtocolError("varbind name is not an OID")
+            out.append((OID.from_ber(name), value))
+        return out
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def get(self, host: str, oids: Seq[OID], port: int = SNMP_PORT) -> list[VarBind]:
+        """GET one or more scalars from ``host``'s agent."""
+        return self._request((host, port), PDU_GET, [(OID(o), Null()) for o in oids])
+
+    def get_scalar(self, host: str, oid: OID, port: int = SNMP_PORT) -> object:
+        """GET a single object; returns just its value."""
+        return self.get(host, [oid], port)[0][1]
+
+    def get_next(self, host: str, oid: OID, port: int = SNMP_PORT) -> VarBind:
+        """GETNEXT a single OID."""
+        return self._request((host, port), PDU_GETNEXT, [(OID(oid), Null())])[0]
+
+    def walk(self, host: str, root: OID, port: int = SNMP_PORT) -> list[VarBind]:
+        """Traverse the subtree under ``root`` via repeated GETNEXT."""
+        out: list[VarBind] = []
+        root = OID(root)
+        current = root
+        while True:
+            try:
+                oid, value = self.get_next(host, current, port)
+            except SnmpErrorResponse as exc:
+                if exc.status == ErrorStatus.NO_SUCH_NAME:
+                    break  # walked off the end of the MIB
+                raise
+            if not root.is_prefix_of(oid):
+                break
+            out.append((oid, value))
+            current = oid
+        return out
+
+    def set(self, host: str, varbinds: Seq[tuple[OID, object]], port: int = SNMP_PORT) -> list[VarBind]:
+        """SET one or more writable objects."""
+        return self._request((host, port), PDU_SET, list(varbinds))
+
+    def get_bulk(
+        self,
+        host: str,
+        oids: Seq[OID],
+        non_repeaters: int = 0,
+        max_repetitions: int = 10,
+        port: int = SNMP_PORT,
+    ) -> list[VarBind]:
+        """GETBULK (v2c): batched GETNEXT traversal in one round trip."""
+        if self.version != VERSION_2C:
+            raise SnmpProtocolError("GETBULK requires SNMPv2c")
+        return self._request(
+            (host, port),
+            PDU_GETBULK,
+            [(OID(o), Null()) for o in oids],
+            slot1=non_repeaters,
+            slot2=max_repetitions,
+        )
+
+    def bulk_walk(
+        self, host: str, root: OID, max_repetitions: int = 20, port: int = SNMP_PORT
+    ) -> list[VarBind]:
+        """Traverse a subtree with GETBULK — far fewer round trips than
+        :meth:`walk` on large tables."""
+        from .ber import EndOfMibView
+
+        out: list[VarBind] = []
+        root = OID(root)
+        current = root
+        while True:
+            chunk = self.get_bulk(
+                host, [current], max_repetitions=max_repetitions, port=port
+            )
+            progressed = False
+            done = False
+            for oid, value in chunk:
+                if isinstance(value, EndOfMibView) or not root.is_prefix_of(oid):
+                    done = True
+                    break
+                out.append((oid, value))
+                current = oid
+                progressed = True
+            if done or not progressed:
+                break
+        return out
+
+    def close(self) -> None:
+        """Release the manager's socket."""
+        self._sock.close()

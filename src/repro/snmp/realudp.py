@@ -1,0 +1,221 @@
+"""Real-socket SNMP: the codec over actual OS UDP (loopback).
+
+Everything else in the repository runs on the virtual-time simulator;
+this module exists to prove the BER layer is *wire-real*: a
+:class:`RealSnmpAgent` serves a MIB on a 127.0.0.1 socket and a
+:class:`RealSnmpManager` queries it, blocking on OS timeouts.  Used by
+tests (skipped where sockets are unavailable) and usable against
+third-party SNMP tools on the same host.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Sequence as Seq
+
+from .agent import PDU_GET, PDU_GETNEXT, PDU_RESPONSE, PDU_SET, VERSION_2C
+from .ber import (
+    BerError,
+    Integer,
+    Null,
+    ObjectIdentifierValue,
+    OctetString,
+    Sequence,
+    TaggedPdu,
+    decode,
+    encode,
+)
+from .errors import ErrorStatus, SnmpErrorResponse, SnmpProtocolError, SnmpTimeout
+from .mib import MibAccessError, MibTree
+from .oids import OID
+
+__all__ = ["RealSnmpAgent", "RealSnmpManager"]
+
+
+class RealSnmpAgent:
+    """A synchronous agent on a real UDP socket.
+
+    Not threaded: call :meth:`serve_once` (blocking up to ``timeout``)
+    or :meth:`serve` with a request budget.  Binding port 0 lets the OS
+    pick a free port (read it back from :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        mib: MibTree,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_community: str = "public",
+        write_community: str = "private",
+    ) -> None:
+        self.mib = mib
+        self.read_community = read_community
+        self.write_community = write_community
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self.requests_served = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port)."""
+        return self._sock.getsockname()
+
+    def serve_once(self, timeout: float = 1.0) -> bool:
+        """Handle one request; returns False on timeout."""
+        self._sock.settimeout(timeout)
+        try:
+            data, src = self._sock.recvfrom(65535)
+        except socket.timeout:
+            return False
+        reply = self._process(data)
+        if reply is not None:
+            self._sock.sendto(reply, src)
+        return True
+
+    def serve(self, n_requests: int, timeout: float = 1.0) -> int:
+        """Handle up to ``n_requests``; returns how many were served."""
+        served = 0
+        for _ in range(n_requests):
+            if not self.serve_once(timeout):
+                break
+            served += 1
+        return served
+
+    def _process(self, data: bytes) -> Optional[bytes]:
+        try:
+            msg, _ = decode(data)
+            version, community, pdu = msg.items  # type: ignore[attr-defined]
+            assert isinstance(pdu, TaggedPdu)
+        except (BerError, ValueError, AssertionError):
+            return None
+        community_text = community.value.decode("latin-1")
+        if pdu.tag_value == PDU_SET:
+            if community_text != self.write_community:
+                return None
+        elif community_text not in (self.read_community, self.write_community):
+            return None
+        request_id, _s, _i, vb_list = pdu.items
+        status = ErrorStatus.NO_ERROR
+        err_index = 0
+        out = []
+        for i, vb in enumerate(vb_list.items, start=1):
+            name, value = vb.items
+            oid = OID.from_ber(name)
+            try:
+                if pdu.tag_value == PDU_GET:
+                    out.append(Sequence((oid.to_ber(), self.mib.get(oid))))
+                elif pdu.tag_value == PDU_GETNEXT:
+                    nxt, result = self.mib.get_next(oid)
+                    out.append(Sequence((nxt.to_ber(), result)))
+                elif pdu.tag_value == PDU_SET:
+                    self.mib.set(oid, value)
+                    out.append(Sequence((oid.to_ber(), value)))
+                else:
+                    return None
+            except MibAccessError as exc:
+                status = exc.status
+                err_index = i
+                out = [Sequence((OID.from_ber(vb.items[0]).to_ber(), vb.items[1])) for vb in vb_list.items]
+                break
+        self.requests_served += 1
+        return encode(
+            Sequence(
+                (
+                    Integer(version.value),
+                    OctetString(community.value),
+                    TaggedPdu(
+                        PDU_RESPONSE,
+                        (
+                            Integer(request_id.value),
+                            Integer(status),
+                            Integer(err_index),
+                            Sequence(tuple(out)),
+                        ),
+                    ),
+                )
+            )
+        )
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class RealSnmpManager:
+    """A blocking manager over a real UDP socket."""
+
+    def __init__(
+        self,
+        community: str = "public",
+        timeout: float = 1.0,
+        retries: int = 1,
+    ) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self.community = community
+        self.timeout = timeout
+        self.retries = retries
+        self._request_id = 1
+
+    def _request(
+        self, agent: tuple[str, int], pdu_tag: int, varbinds: Seq[tuple[OID, object]]
+    ) -> list[tuple[OID, object]]:
+        request_id = self._request_id
+        self._request_id += 1
+        wire = encode(
+            Sequence(
+                (
+                    Integer(VERSION_2C),
+                    OctetString(self.community.encode("latin-1")),
+                    TaggedPdu(
+                        pdu_tag,
+                        (
+                            Integer(request_id),
+                            Integer(0),
+                            Integer(0),
+                            Sequence(
+                                tuple(
+                                    Sequence((oid.to_ber(), value))
+                                    for oid, value in varbinds
+                                )
+                            ),
+                        ),
+                    ),
+                )
+            )
+        )
+        self._sock.settimeout(self.timeout)
+        for _ in range(self.retries + 1):
+            self._sock.sendto(wire, agent)
+            try:
+                data, _src = self._sock.recvfrom(65535)
+            except socket.timeout:
+                continue
+            try:
+                msg, _ = decode(data)
+                pdu = msg.items[2]  # type: ignore[attr-defined]
+                rid, status, index, vb_list = pdu.items
+            except (BerError, ValueError, IndexError) as exc:
+                raise SnmpProtocolError(f"bad response: {exc}") from exc
+            if rid.value != request_id:
+                continue  # stale datagram; keep waiting within this attempt
+            if status.value != ErrorStatus.NO_ERROR:
+                raise SnmpErrorResponse(status.value, index.value)
+            return [
+                (OID.from_ber(vb.items[0]), vb.items[1]) for vb in vb_list.items
+            ]
+        raise SnmpTimeout(f"no response from {agent}")
+
+    def get(self, agent: tuple[str, int], oids: Seq[OID]) -> list[tuple[OID, object]]:
+        """GET over the real wire."""
+        return self._request(agent, PDU_GET, [(OID(o), Null()) for o in oids])
+
+    def get_next(self, agent: tuple[str, int], oid: OID) -> tuple[OID, object]:
+        """GETNEXT over the real wire."""
+        return self._request(agent, PDU_GETNEXT, [(OID(oid), Null())])[0]
+
+    def set(self, agent: tuple[str, int], varbinds: Seq[tuple[OID, object]]):
+        """SET over the real wire."""
+        return self._request(agent, PDU_SET, list(varbinds))
+
+    def close(self) -> None:
+        self._sock.close()

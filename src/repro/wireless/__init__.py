@@ -1,0 +1,56 @@
+"""Wireless channel substrate: path loss, SIR (paper Eq. 1), power control,
+mobility traces.  The paper simulates its wireless network; this package is
+that simulation, vectorized."""
+
+from .channel import ChannelError, NoiseModel, PathLossModel
+from .sir import from_db, sir, sir_db, sir_matrix, sir_sweep, to_db
+from .powercontrol import (
+    PowerControlResult,
+    feasible_targets,
+    foschini_miljanic,
+    frame_success_rate,
+    sir_balancing_power,
+    uniform_power_scaling,
+    utility,
+)
+from .linkquality import (
+    bit_error_rate,
+    effective_throughput,
+    loss_for_sir_db,
+    packet_loss_probability,
+)
+from .mobility import (
+    MobilityTrace,
+    PiecewiseLinearTrace,
+    RandomWaypointTrace,
+    StaticTrace,
+    approach_and_retreat,
+)
+
+__all__ = [
+    "ChannelError",
+    "NoiseModel",
+    "PathLossModel",
+    "from_db",
+    "sir",
+    "sir_db",
+    "sir_matrix",
+    "sir_sweep",
+    "to_db",
+    "PowerControlResult",
+    "feasible_targets",
+    "foschini_miljanic",
+    "frame_success_rate",
+    "sir_balancing_power",
+    "uniform_power_scaling",
+    "utility",
+    "bit_error_rate",
+    "effective_throughput",
+    "loss_for_sir_db",
+    "packet_loss_probability",
+    "MobilityTrace",
+    "PiecewiseLinearTrace",
+    "RandomWaypointTrace",
+    "StaticTrace",
+    "approach_and_retreat",
+]

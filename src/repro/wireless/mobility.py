@@ -1,0 +1,139 @@
+"""Mobility traces: client distance from the base station over time.
+
+FIG8's experiment moves client A from 100 m in to 50 m (x-axis points
+0–3) and back out (points 3–5) while client B holds position.  A
+:class:`MobilityTrace` yields the distance at each experiment step; the
+composable generators below cover the sweeps used in the benches plus a
+random-waypoint model for the extension experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "MobilityTrace",
+    "StaticTrace",
+    "PiecewiseLinearTrace",
+    "approach_and_retreat",
+    "RandomWaypointTrace",
+]
+
+
+class MobilityTrace:
+    """Base: a finite sequence of distances (metres) from the BS."""
+
+    def distances(self) -> np.ndarray:
+        """The full trace as an array of shape ``(steps,)``."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.distances())
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.distances().tolist())
+
+
+@dataclass
+class StaticTrace(MobilityTrace):
+    """A client that does not move."""
+
+    distance: float
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.distance <= 0:
+            raise ValueError("distance must be positive")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+
+    def distances(self) -> np.ndarray:
+        return np.full(self.steps, float(self.distance))
+
+
+@dataclass
+class PiecewiseLinearTrace(MobilityTrace):
+    """Linear interpolation through waypoints ``(step_index, distance)``.
+
+    >>> t = PiecewiseLinearTrace([(0, 100.0), (2, 50.0), (4, 100.0)])
+    >>> t.distances().tolist()
+    [100.0, 75.0, 50.0, 75.0, 100.0]
+    """
+
+    waypoints: Sequence[tuple[int, float]]
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError("need at least two waypoints")
+        steps = [s for s, _ in self.waypoints]
+        if steps != sorted(steps) or len(set(steps)) != len(steps):
+            raise ValueError("waypoint steps must be strictly increasing")
+        if any(d <= 0 for _, d in self.waypoints):
+            raise ValueError("distances must be positive")
+
+    def distances(self) -> np.ndarray:
+        steps = np.array([s for s, _ in self.waypoints], dtype=float)
+        dists = np.array([d for _, d in self.waypoints], dtype=float)
+        xs = np.arange(int(steps[0]), int(steps[-1]) + 1, dtype=float)
+        return np.interp(xs, steps, dists)
+
+
+def approach_and_retreat(
+    far: float = 100.0, near: float = 50.0, in_steps: int = 3, out_steps: int = 2
+) -> PiecewiseLinearTrace:
+    """FIG8's trace for client A: ``far → near`` then back out.
+
+    Default reproduces the paper: 100 m down to 50 m across x-points 0–3,
+    then increasing again across points 3–5.
+    """
+    return PiecewiseLinearTrace(
+        [(0, far), (in_steps, near), (in_steps + out_steps, far)]
+    )
+
+
+class RandomWaypointTrace(MobilityTrace):
+    """Random-waypoint mobility within an annulus around the BS.
+
+    Picks uniformly random target distances in ``[d_min, d_max]`` and
+    moves toward each at ``speed`` metres/step.  Deterministic under a
+    seeded generator.
+    """
+
+    def __init__(
+        self,
+        steps: int,
+        d_min: float = 10.0,
+        d_max: float = 150.0,
+        speed: float = 10.0,
+        rng: np.random.Generator | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not (0 < d_min < d_max):
+            raise ValueError("require 0 < d_min < d_max")
+        if speed <= 0 or steps < 1:
+            raise ValueError("speed must be positive and steps >= 1")
+        self.steps = steps
+        self.d_min = d_min
+        self.d_max = d_max
+        self.speed = speed
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._trace: np.ndarray | None = None
+
+    def distances(self) -> np.ndarray:
+        if self._trace is None:
+            rng = self._rng
+            pos = float(rng.uniform(self.d_min, self.d_max))
+            target = float(rng.uniform(self.d_min, self.d_max))
+            out = np.empty(self.steps)
+            for i in range(self.steps):
+                out[i] = pos
+                if abs(target - pos) <= self.speed:
+                    pos = target
+                    target = float(rng.uniform(self.d_min, self.d_max))
+                else:
+                    pos += self.speed if target > pos else -self.speed
+            self._trace = out
+        return self._trace

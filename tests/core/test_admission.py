@@ -1,0 +1,92 @@
+"""Tests for base-station admission control and minimum-device assessment."""
+
+import pytest
+
+from repro.core.framework import CollaborationFramework
+from repro.core.policies import ModalityTier
+
+
+@pytest.fixture
+def cell():
+    fw = CollaborationFramework("adm")
+    bs = fw.add_base_station("bs")
+    return fw, bs
+
+
+class TestAssessment:
+    def test_empty_cell_strong_client(self, cell):
+        _, bs = cell
+        ok, sir_db, tier = bs.assess_admission(50.0, 1.0)
+        assert ok
+        assert tier is ModalityTier.FULL_IMAGE
+        assert sir_db == pytest.approx(32.0, abs=0.2)
+
+    def test_interference_lowers_prediction(self, cell):
+        fw, bs = cell
+        base = bs.assess_admission(80.0, 1.0)[1]
+        fw.add_wireless_client("jammer", bs, distance=50.0)
+        with_jammer = bs.assess_admission(80.0, 1.0)[1]
+        assert with_jammer < base - 10.0
+
+    def test_invalid_params(self, cell):
+        _, bs = cell
+        with pytest.raises(ValueError):
+            bs.assess_admission(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            bs.assess_admission(10.0, 0.0)
+
+
+class TestAdmissionControl:
+    def test_admission_refused_below_min_tier(self, cell):
+        fw, bs = cell
+        fw.add_wireless_client("near", bs, distance=40.0)
+        # a far, weak device demanding full-image service is refused
+        with pytest.raises(ValueError, match="admission refused"):
+            bs.attach(
+                "hopeless",
+                ("hopeless", 1),
+                distance=150.0,
+                tx_power=0.5,
+                min_tier=ModalityTier.FULL_IMAGE,
+            )
+        assert "hopeless" not in bs.attachments
+
+    def test_admission_granted_when_tier_met(self, cell):
+        _, bs = cell
+        att = bs.attach(
+            "fine", ("fine", 1), distance=60.0, tx_power=1.0,
+            min_tier=ModalityTier.FULL_IMAGE,
+        )
+        assert att.client_id == "fine"
+
+    def test_no_min_tier_admits_anything(self, cell):
+        fw, bs = cell
+        fw.add_wireless_client("near", bs, distance=40.0)
+        att = bs.attach("weak", ("weak", 1), distance=200.0, tx_power=0.1)
+        assert att.client_id == "weak"
+
+
+class TestMinimumPower:
+    def test_binary_search_finds_threshold(self, cell):
+        _, bs = cell
+        p = bs.minimum_power_for(100.0, ModalityTier.FULL_IMAGE)
+        assert p is not None
+        # at the found power the tier holds; slightly below it fails
+        ok, _, _ = bs.assess_admission(100.0, p, ModalityTier.FULL_IMAGE)
+        assert ok
+        ok_below, _, _ = bs.assess_admission(100.0, p * 0.9, ModalityTier.FULL_IMAGE)
+        assert not ok_below
+
+    def test_none_when_unachievable(self, cell):
+        fw, bs = cell
+        # a strong interferer makes full-image impossible at long range
+        fw.add_wireless_client("jammer", bs, distance=30.0, tx_power=4.0)
+        assert bs.minimum_power_for(
+            200.0, ModalityTier.FULL_IMAGE, max_power=10.0
+        ) is None
+
+    def test_lower_tier_needs_less_power(self, cell):
+        _, bs = cell
+        p_img = bs.minimum_power_for(100.0, ModalityTier.FULL_IMAGE)
+        p_txt = bs.minimum_power_for(100.0, ModalityTier.TEXT_ONLY)
+        assert p_txt < p_img

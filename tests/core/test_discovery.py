@@ -1,0 +1,107 @@
+"""Tests for session discovery and refinement."""
+
+import pytest
+
+from repro.core.discovery import DiscoveryError, SessionDirectory
+from repro.core.session import SessionDescriptor
+
+
+@pytest.fixture
+def directory():
+    d = SessionDirectory()
+    d.publish(SessionDescriptor("crisis-7", "coordinate flood response in sector 7"))
+    d.publish(
+        SessionDescriptor(
+            "peripherals", "auction surplus computer peripherals", result_space=("chat",)
+        )
+    )
+    d.publish(
+        SessionDescriptor(
+            "telediag-12", "review cardiac scans for patient rounds",
+            result_space=("chat", "image"),
+        )
+    )
+    return d
+
+
+class TestPublish:
+    def test_publish_and_get(self, directory):
+        assert directory.get("crisis-7").objective.startswith("coordinate")
+        assert len(directory.sessions) == 3
+
+    def test_empty_objective_rejected(self, directory):
+        with pytest.raises(DiscoveryError):
+            directory.publish(SessionDescriptor("x", "   "))
+
+    def test_withdraw(self, directory):
+        directory.withdraw("crisis-7")
+        assert directory.get("crisis-7") is None
+        directory.withdraw("crisis-7")  # idempotent
+
+
+class TestSearch:
+    def test_keyword_match_ranked(self, directory):
+        hits = directory.search("flood response coordination")
+        assert hits[0].descriptor.name == "crisis-7"
+        assert "flood" in hits[0].matched_tokens
+
+    def test_no_match_empty(self, directory):
+        assert directory.search("quantum chromodynamics") == []
+
+    def test_empty_query_rejected(self, directory):
+        with pytest.raises(DiscoveryError):
+            directory.search("   ")
+
+    def test_capability_requirement_filters(self, directory):
+        hits = directory.search("review scans", require=("image",))
+        assert [h.descriptor.name for h in hits] == ["telediag-12"]
+        hits2 = directory.search("auction peripherals", require=("image",))
+        assert hits2 == []  # chat-only session excluded
+
+    def test_name_match_bonus(self, directory):
+        directory.publish(SessionDescriptor("flood", "generic relief chat"))
+        hits = directory.search("flood")
+        # the name-matching session outranks the objective-only match
+        assert hits[0].descriptor.name == "flood"
+
+    def test_limit(self, directory):
+        for i in range(10):
+            directory.publish(SessionDescriptor(f"s{i}", "common shared objective"))
+        assert len(directory.search("common shared objective", limit=4)) == 4
+
+
+class TestRefinement:
+    def test_refine_coarse_group(self, directory):
+        """The paper's modem-buyer example: narrow 'peripherals'."""
+        refined = directory.refine(
+            "peripherals", "peripherals-modems", "auction modems only"
+        )
+        assert refined.result_space == ("chat",)  # inherited
+        assert directory.parent_of("peripherals-modems") == "peripherals"
+        assert [d.name for d in directory.refinements_of("peripherals")] == [
+            "peripherals-modems"
+        ]
+        # discoverable with higher precision
+        hits = directory.search("modems")
+        assert hits[0].descriptor.name == "peripherals-modems"
+
+    def test_refinement_cannot_widen(self, directory):
+        with pytest.raises(DiscoveryError):
+            directory.refine(
+                "peripherals", "p2", "with images", result_space=("chat", "image")
+            )
+
+    def test_refinement_can_narrow(self, directory):
+        refined = directory.refine(
+            "telediag-12", "telediag-text", "text-only consults", result_space=("chat",)
+        )
+        assert refined.result_space == ("chat",)
+
+    def test_unknown_parent(self, directory):
+        with pytest.raises(DiscoveryError):
+            directory.refine("ghost", "sub", "obj")
+
+    def test_withdraw_refinement_cleans_link(self, directory):
+        directory.refine("peripherals", "sub", "narrow")
+        directory.withdraw("sub")
+        assert directory.refinements_of("peripherals") == []

@@ -1,0 +1,83 @@
+"""Handoff edge cases: empty registries, single cell, many clients."""
+
+import pytest
+
+from repro.core.framework import CollaborationFramework
+from repro.core.handoff import HandoffManager, Position
+
+
+class TestEdges:
+    def test_empty_manager_evaluates_empty(self):
+        fw = CollaborationFramework("he")
+        hm = HandoffManager(fw.network)
+        assert hm.evaluate() == {}
+        assert hm.step() == []
+
+    def test_single_station_never_hands_off(self):
+        fw = CollaborationFramework("he2")
+        bs = fw.add_base_station("bs")
+        w = fw.add_wireless_client("w", bs, distance=50.0)
+        hm = HandoffManager(fw.network)
+        hm.add_station(bs, Position(0, 0))
+        hm.add_client(w, Position(50, 0), "bs")
+        hm.move_client("w", Position(500, 0))
+        assert hm.step() == []
+        assert hm.serving_station("w") == "bs"
+
+    def test_negative_hysteresis_rejected(self):
+        fw = CollaborationFramework("he3")
+        with pytest.raises(ValueError):
+            HandoffManager(fw.network, hysteresis_db=-1.0)
+
+    def test_two_clients_interfere_across_cells(self):
+        """Handoff evaluation accounts for inter-cell interference."""
+        fw = CollaborationFramework("he4")
+        west = fw.add_base_station("bs-west")
+        east = fw.add_base_station("bs-east")
+        wa = fw.add_wireless_client("wa", west, distance=50.0)
+        wb = fw.add_wireless_client("wb", east, distance=50.0)
+        hm = HandoffManager(fw.network)
+        hm.add_station(west, Position(0, 0))
+        hm.add_station(east, Position(400, 0))
+        hm.add_client(wa, Position(50, 0), "bs-west")
+        hm.add_client(wb, Position(350, 0), "bs-east")
+        table = hm.evaluate()
+        # each client strong at its own cell, weak at the other's
+        assert table["wa"]["bs-west"] > table["wa"]["bs-east"]
+        assert table["wb"]["bs-east"] > table["wb"]["bs-west"]
+        # solo-cell SIR would be pure SNR; the other client's signal is
+        # interference here, so the table value sits strictly below it
+        import numpy as np
+
+        solo_snr_db = 10 * np.log10(1.0 * west.pathloss.gain(50.0) / west.noise.sigma2)
+        assert table["wa"]["bs-west"] < solo_snr_db
+
+    def test_unknown_client_raises(self):
+        fw = CollaborationFramework("he5")
+        hm = HandoffManager(fw.network)
+        with pytest.raises(KeyError):
+            hm.move_client("ghost", Position(0, 0))
+        with pytest.raises(KeyError):
+            hm.serving_station("ghost")
+
+    def test_handoff_back_and_forth_requires_margin(self):
+        """After handing off east, coming back needs the margin again."""
+        fw = CollaborationFramework("he6")
+        west = fw.add_base_station("bs-west")
+        east = fw.add_base_station("bs-east")
+        w = fw.add_wireless_client("w", west, distance=30.0)
+        hm = HandoffManager(fw.network, hysteresis_db=3.0)
+        hm.add_station(west, Position(0, 0))
+        hm.add_station(east, Position(400, 0))
+        hm.add_client(w, Position(30, 0), "bs-west")
+        hm.move_client("w", Position(380, 0))
+        assert len(hm.step()) == 1
+        # drift just past the midpoint toward west: inside the margin
+        hm.move_client("w", Position(195, 0))
+        assert hm.step() == []
+        assert hm.serving_station("w") == "bs-east"
+        # go clearly west: hands back
+        hm.move_client("w", Position(40, 0))
+        assert len(hm.step()) == 1
+        assert hm.serving_station("w") == "bs-west"
+        assert len(hm.events) == 2

@@ -1,0 +1,124 @@
+"""Tests for the inference engine."""
+
+import pytest
+
+from repro.core.contracts import Constraint, QoSContract
+from repro.core.inference import InferenceEngine
+from repro.core.policies import ModalityTier, default_policy_database
+from repro.core.profiles import ClientProfile
+from repro.media.transformers import Modality
+
+
+@pytest.fixture
+def engine():
+    return InferenceEngine(default_policy_database())
+
+
+@pytest.fixture
+def profile():
+    return ClientProfile("c", {"role": "participant"})
+
+
+class TestPacketDecision:
+    def test_no_observation_full_budget(self, engine, profile):
+        d = engine.infer(profile, {})
+        assert d.packets == 16
+        assert d.modality is Modality.IMAGE
+
+    def test_page_fault_policy_applied(self, engine, profile):
+        assert engine.infer(profile, {"page_faults": 30}).packets == 16
+        assert engine.infer(profile, {"page_faults": 60}).packets == 4
+        assert engine.infer(profile, {"page_faults": 100}).packets == 1
+
+    def test_cpu_policy_applied(self, engine, profile):
+        assert engine.infer(profile, {"cpu_load": 100}).packets == 0
+
+    def test_most_constrained_wins(self, engine, profile):
+        d = engine.infer(profile, {"page_faults": 30, "cpu_load": 90})
+        assert d.packets == 1
+
+    def test_packets_snap_to_powers_of_two(self, profile):
+        from repro.core.policies import PolicyDatabase, StepPolicy
+
+        db = PolicyDatabase()
+        db.add_step("odd", StepPolicy("x", "packets", [(10, 13)], floor=5))
+        engine = InferenceEngine(db)
+        assert engine.infer(profile, {"x": 5}).packets == 8   # 13 -> 8
+        assert engine.infer(profile, {"x": 50}).packets == 4  # 5 -> 4
+
+    def test_max_packets_ceiling(self, profile):
+        engine = InferenceEngine(default_policy_database(), max_packets=8)
+        assert engine.infer(profile, {"page_faults": 30}).packets == 8
+
+    def test_decision_counter(self, engine, profile):
+        engine.infer(profile, {})
+        engine.infer(profile, {})
+        assert engine.decisions_made == 2
+
+    def test_reasons_populated(self, engine, profile):
+        d = engine.infer(profile, {"page_faults": 70})
+        assert any("policy packet budget" in r for r in d.reasons)
+
+
+class TestWirelessTier:
+    def test_full_tier_keeps_packets(self, engine, profile):
+        d = engine.infer(profile, {"sir_db": 10.0})
+        assert d.tier is ModalityTier.FULL_IMAGE
+        assert d.packets == 16
+
+    def test_sketch_tier_gates_image_packets(self, engine, profile):
+        d = engine.infer(profile, {"sir_db": 2.0})
+        assert d.tier is ModalityTier.TEXT_AND_SKETCH
+        assert d.packets == 0
+        assert d.modality is Modality.SKETCH
+        assert "image-to-sketch" in d.transforms
+
+    def test_text_tier(self, engine, profile):
+        d = engine.infer(profile, {"sir_db": -3.0})
+        assert d.tier is ModalityTier.TEXT_ONLY
+        assert d.modality is Modality.TEXT
+        assert "image-to-text" in d.transforms
+
+    def test_dead_channel(self, engine, profile):
+        d = engine.infer(profile, {"sir_db": -30.0})
+        assert d.tier is ModalityTier.NOTHING
+        assert d.packets == 0
+
+
+class TestModalityPreference:
+    def test_profile_text_preference(self, engine):
+        p = ClientProfile("c", {"modality": "text"})
+        d = engine.infer(p, {})
+        assert d.modality is Modality.TEXT
+        assert "image-to-text" in d.transforms
+
+    def test_profile_speech_preference_chains(self, engine):
+        p = ClientProfile("c", {"modality": "speech"})
+        d = engine.infer(p, {})
+        assert d.modality is Modality.SPEECH
+        assert d.transforms == ("image-to-text", "text-to-speech")
+
+    def test_unknown_preference_falls_back_to_image(self, engine):
+        p = ClientProfile("c", {"modality": "hologram"})
+        assert engine.infer(p, {}).modality is Modality.IMAGE
+
+
+class TestContractEnforcement:
+    def test_contract_floor_clamps(self, profile):
+        contract = QoSContract("floor", [Constraint("packets", minimum=2)])
+        engine = InferenceEngine(default_policy_database(), contract=contract)
+        d = engine.infer(profile, {"page_faults": 100})  # policy says 1
+        assert d.packets == 2
+
+    def test_unsatisfiable_contract_reports_violation(self, profile):
+        contract = QoSContract("strict", [Constraint("cpu_load", maximum=50)])
+        engine = InferenceEngine(default_policy_database(), contract=contract)
+        d = engine.infer(profile, {"cpu_load": 95})
+        assert d.degraded
+        assert d.violations[0].observed == 95
+
+    def test_satisfied_contract_not_degraded(self, profile):
+        contract = QoSContract("ok", [Constraint("packets", minimum=1)])
+        engine = InferenceEngine(default_policy_database(), contract=contract)
+        d = engine.infer(profile, {"page_faults": 40})
+        assert not d.degraded

@@ -1,0 +1,105 @@
+"""Coverage for smaller surfaces: RTCP at the endpoint, local sketch,
+QoS loop with power control, switch octet probes, telemetry + netstate."""
+
+import pytest
+
+from repro.core.framework import CollaborationFramework
+from repro.core.netstate import NetworkStateInterface
+from repro.hosts.workload import Constant
+from repro.media.images import collaboration_scene
+from repro.snmp.switch_binding import attach_switch_agent
+
+
+class TestEndpointRtcp:
+    def test_reception_report_tracks_peer(self):
+        fw = CollaborationFramework("rtcp")
+        a = fw.add_wired_client("alice")
+        b = fw.add_wired_client("bob")
+        a.join()
+        b.join()
+        fw.run_for(0.3)
+        a.share_image("img", collaboration_scene(64, 64))
+        fw.run_for(2.0)
+        report = b.endpoint.reception_report(a.endpoint.ssrc)
+        assert report.messages_completed >= 17  # announce + 16 packets
+        assert report.cumulative_lost == 0
+        assert report.fraction_lost == 0.0
+
+    def test_report_reflects_loss(self):
+        fw = CollaborationFramework("rtcp2", seed=6)
+        a = fw.add_wired_client("alice")
+        b = fw.add_wired_client("bob", link_kwargs={"loss": 0.4})
+        a.join()
+        b.join()
+        fw.run_for(0.3)
+        for i in range(30):
+            a.send_chat(f"line {i}")
+        fw.run_for(3.0)
+        report = b.endpoint.reception_report(a.endpoint.ssrc)
+        assert report.cumulative_lost > 0
+        assert 0.0 < report.fraction_lost < 1.0
+
+
+class TestLocalSketch:
+    def test_sketch_from_reconstruction(self):
+        fw = CollaborationFramework("sk")
+        a = fw.add_wired_client("alice")
+        b = fw.add_wired_client("bob")
+        a.join()
+        b.join()
+        fw.run_for(0.3)
+        a.share_image("img", collaboration_scene(128, 128))
+        fw.run_for(2.0)
+        sketch = b.local_sketch("img")
+        assert sketch.mask.any()
+        assert sketch.n_bytes < 500
+
+
+class TestQosLoopPowerControl:
+    def test_loop_issues_power_requests(self):
+        fw = CollaborationFramework("pcl")
+        bs = fw.add_base_station("bs")
+        w = fw.add_wireless_client("hot", bs, distance=25.0, tx_power=4.0)
+        bs.start_qos_loop(interval=0.5, power_control=True)
+        fw.run_for(2.0)
+        assert bs.power_requests_sent
+        assert w.tx_power < 4.0
+
+
+class TestSwitchOctetProbes:
+    def test_octet_probes_observe_traffic(self):
+        fw = CollaborationFramework("oct")
+        a = fw.add_wired_client(
+            "alice", cpu_workload=Constant(10.0), fault_workload=Constant(5.0)
+        )
+        b = fw.add_wired_client("bob")
+        attach_switch_agent(fw.network, "lan-switch")
+        ns = NetworkStateInterface(fw.network, "alice")
+        ns.add_switch_octet_probes("lan-switch", 1)
+        first = ns.poll()
+        a.join()
+        b.join()
+        a.send_chat("traffic!")
+        fw.run_for(1.0)
+        second = ns.poll()
+        assert second["if1_in_octets"] > first["if1_in_octets"]
+
+
+class TestTelemetryWithNetstate:
+    def test_netstate_requests_counted(self):
+        from repro.core.telemetry import deployment_report
+
+        fw = CollaborationFramework("tns")
+        a = fw.add_wired_client("alice")
+        a.enable_network_monitoring()
+        a.monitor_and_adapt()
+        report = deployment_report(fw)
+        assert report["wired_clients"]["alice"]["snmp_requests"] >= 1
+
+
+class TestSubbandSlicesValidation:
+    def test_bad_shape_rejected(self):
+        from repro.media.wavelet import WaveletError, subband_slices
+
+        with pytest.raises(WaveletError):
+            subband_slices((6, 8), 2)

@@ -1,0 +1,87 @@
+"""Tests for session descriptors, membership, and archival."""
+
+import pytest
+
+from repro.core.session import Membership, SessionArchive, SessionDescriptor
+from repro.messaging.message import SemanticMessage
+
+
+class TestDescriptor:
+    def test_selector_targets_session(self):
+        s = SessionDescriptor("crisis-1", "flood response")
+        from repro.core.selectors import Selector
+
+        sel = Selector(s.selector_text())
+        assert sel.matches({"session": "crisis-1"})
+        assert not sel.matches({"session": "other"})
+
+    def test_selector_with_extra_condition(self):
+        s = SessionDescriptor("crisis-1", "flood response")
+        from repro.core.selectors import Selector
+
+        sel = Selector(s.selector_text("role == 'medic'"))
+        assert sel.matches({"session": "crisis-1", "role": "medic"})
+        assert not sel.matches({"session": "crisis-1", "role": "clerk"})
+
+    def test_result_space(self):
+        s = SessionDescriptor("s", "o", result_space=("chat",))
+        assert s.supports("chat")
+        assert not s.supports("image")
+
+
+class TestMembership:
+    def test_join_leave(self):
+        m = Membership()
+        m.join("a", 1.0)
+        m.join("b", 2.0)
+        m.leave("a")
+        assert m.members == ["b"]
+        assert "b" in m and "a" not in m
+        assert (m.joins, m.leaves) == (2, 1)
+
+    def test_rejoin_idempotent(self):
+        m = Membership()
+        m.join("a", 1.0)
+        m.join("a", 2.0)
+        assert m.joins == 1
+        assert len(m) == 1
+
+    def test_leave_unknown_noop(self):
+        m = Membership()
+        m.leave("ghost")
+        assert m.leaves == 0
+
+
+class TestArchive:
+    def test_record_and_replay(self):
+        a = SessionArchive()
+        m1 = SemanticMessage.create("x", "true", kind="chat")
+        m2 = SemanticMessage.create("x", "true", kind="image-share")
+        a.record(1.0, m1)
+        a.record(2.0, m2)
+        assert len(a) == 2
+        assert [m.kind for _, m in a.replay()] == ["chat", "image-share"]
+
+    def test_replay_since(self):
+        a = SessionArchive()
+        a.record(1.0, SemanticMessage.create("x", "true", kind="old"))
+        a.record(5.0, SemanticMessage.create("x", "true", kind="new"))
+        assert [m.kind for _, m in a.replay(since=2.0)] == ["new"]
+
+    def test_replay_kind_filter(self):
+        a = SessionArchive()
+        a.record(1.0, SemanticMessage.create("x", "true", kind="chat"))
+        a.record(2.0, SemanticMessage.create("x", "true", kind="join"))
+        assert len(a.replay(kinds={"chat"})) == 1
+
+    def test_capacity_evicts_oldest(self):
+        a = SessionArchive(capacity=3)
+        for i in range(5):
+            a.record(float(i), SemanticMessage.create("x", "true", kind=f"k{i}"))
+        assert len(a) == 3
+        assert [m.kind for _, m in a.replay()] == ["k2", "k3", "k4"]
+        assert a.archived == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SessionArchive(capacity=0)

@@ -1,0 +1,92 @@
+"""Tests for multi-resolution reconstruction (thumbnails from the pyramid)."""
+
+import numpy as np
+import pytest
+
+from repro.media.images import collaboration_scene, to_rgb
+from repro.media.progressive import ProgressiveImage, ReceivedImage
+from repro.media.wavelet import WaveletError, haar_dwt2, haar_idwt2_partial
+
+
+class TestPartialInverse:
+    def test_skip_zero_is_full_inverse(self):
+        x = np.random.default_rng(0).uniform(0, 255, (32, 32))
+        c = haar_dwt2(x, 4)
+        assert np.allclose(haar_idwt2_partial(c, 4, 0), x)
+
+    def test_shapes(self):
+        x = np.zeros((64, 64))
+        c = haar_dwt2(x, 4)
+        for k in range(5):
+            assert haar_idwt2_partial(c, 4, k).shape == (64 >> k, 64 >> k)
+
+    def test_mean_preserved(self):
+        x = collaboration_scene(64, 64).astype(float)
+        c = haar_dwt2(x, 4)
+        for k in (1, 2, 3):
+            thumb = haar_idwt2_partial(c, 4, k)
+            assert thumb.mean() == pytest.approx(x.mean(), rel=1e-9)
+
+    def test_thumbnail_is_block_mean(self):
+        """The Haar approximation at scale k equals the 2^k block mean."""
+        x = collaboration_scene(32, 32).astype(float)
+        c = haar_dwt2(x, 3)
+        thumb = haar_idwt2_partial(c, 3, 1)
+        blocks = x.reshape(16, 2, 16, 2).mean(axis=(1, 3))
+        assert np.allclose(thumb, blocks)
+
+    def test_bad_skip_rejected(self):
+        c = haar_dwt2(np.zeros((16, 16)), 2)
+        with pytest.raises(WaveletError):
+            haar_idwt2_partial(c, 2, 3)
+        with pytest.raises(WaveletError):
+            haar_idwt2_partial(c, 2, -1)
+
+
+class TestReceivedThumbnail:
+    @pytest.fixture(scope="class")
+    def received(self):
+        img = collaboration_scene(64, 64)
+        prog = ProgressiveImage(img, n_packets=16, target_bpp=2.2)
+        rx = ReceivedImage(64, 64, 1, prog.levels, prog.t0_exps, 16)
+        for p in prog.packets():
+            rx.add_packet(p)
+        return img, rx
+
+    def test_thumbnail_shape_and_range(self, received):
+        _, rx = received
+        thumb = rx.thumbnail(scale_levels=2)
+        assert thumb.shape == (16, 16)
+        assert 0 <= thumb.min() and thumb.max() <= 255
+
+    def test_thumbnail_resembles_downscaled_original(self, received):
+        img, rx = received
+        thumb = rx.thumbnail(scale_levels=2)
+        ref = img.astype(float).reshape(16, 4, 16, 4).mean(axis=(1, 3))
+        err = np.abs(thumb - ref).mean()
+        assert err < 8.0  # near-lossless coding -> close block means
+
+    def test_thumbnail_from_single_packet(self):
+        """Thin clients get a usable thumbnail from just the first packet."""
+        img = collaboration_scene(64, 64)
+        prog = ProgressiveImage(img, n_packets=16, target_bpp=2.2)
+        rx = ReceivedImage(64, 64, 1, prog.levels, prog.t0_exps, 16)
+        rx.add_packet(prog.packets()[0])
+        thumb = rx.thumbnail(scale_levels=3)
+        ref = img.astype(float).reshape(8, 8, 8, 8).mean(axis=(1, 3))
+        corr = np.corrcoef(thumb.ravel(), ref.ravel())[0, 1]
+        assert corr > 0.9  # structurally faithful even at 1/16 of the bits
+
+    def test_scale_clamped_to_levels(self, received):
+        _, rx = received
+        thumb = rx.thumbnail(scale_levels=99)
+        assert thumb.shape == (64 >> rx.levels, 64 >> rx.levels)
+
+    def test_color_thumbnail(self):
+        img = to_rgb(collaboration_scene(64, 64))
+        prog = ProgressiveImage(img, n_packets=8, target_bpp=6.0)
+        rx = ReceivedImage(64, 64, 3, prog.levels, prog.t0_exps, 8)
+        for p in prog.packets():
+            rx.add_packet(p)
+        thumb = rx.thumbnail(scale_levels=2)
+        assert thumb.shape == (16, 16, 3)

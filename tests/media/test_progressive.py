@@ -1,0 +1,134 @@
+"""Tests for progressive packetization and receiver assembly."""
+
+import numpy as np
+import pytest
+
+from repro.media.images import collaboration_scene, to_rgb
+from repro.media.progressive import (
+    PACKET_COUNTS,
+    ImagePacket,
+    ProgressiveImage,
+    ReceivedImage,
+)
+
+
+@pytest.fixture(scope="module")
+def gray_prog():
+    return ProgressiveImage(collaboration_scene(64, 64), n_packets=16, target_bpp=2.2)
+
+
+@pytest.fixture(scope="module")
+def color_prog():
+    return ProgressiveImage(
+        to_rgb(collaboration_scene(64, 64)), n_packets=16, target_bpp=14.3
+    )
+
+
+class TestPacketization:
+    def test_packet_count(self, gray_prog):
+        assert len(gray_prog.packets()) == 16
+
+    def test_bits_partition_stream(self, gray_prog):
+        pkts = gray_prog.packets()
+        assert sum(p.n_bits for p in pkts) == gray_prog.total_bits
+
+    def test_color_packets_carry_three_chunks(self, color_prog):
+        for p in color_prog.packets():
+            assert len(p.chunks) == 3
+
+    def test_wire_roundtrip(self, gray_prog):
+        p = gray_prog.packets()[5]
+        rt = ImagePacket.from_bytes(p.to_bytes())
+        assert rt.index == p.index
+        assert rt.total == p.total
+        assert rt.chunks == p.chunks
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProgressiveImage(collaboration_scene(64, 64), n_packets=0)
+        with pytest.raises(ValueError):
+            ProgressiveImage(np.zeros((2, 2, 2, 2)))
+
+
+class TestReports:
+    def test_bpp_scales_with_packets(self, gray_prog):
+        reports = gray_prog.reports(PACKET_COUNTS)
+        bpps = [r.bpp for r in reports]
+        assert bpps == sorted(bpps)
+        assert reports[-1].bpp == pytest.approx(2.2, rel=0.05)
+
+    def test_compression_ratio_inverse_of_bpp(self, gray_prog):
+        r = gray_prog.report(16)
+        assert r.compression_ratio == pytest.approx(8.0 / r.bpp, rel=1e-6)
+
+    def test_color_cr_uses_24bpp_raw(self, color_prog):
+        r = color_prog.report(16)
+        assert r.compression_ratio == pytest.approx(24.0 / r.bpp, rel=1e-6)
+
+    def test_psnr_improves_with_packets(self, gray_prog):
+        reports = gray_prog.reports((1, 4, 16))
+        assert reports[0].psnr_db < reports[1].psnr_db < reports[2].psnr_db
+
+    def test_zero_packets(self, gray_prog):
+        r = gray_prog.report(0)
+        assert r.bits_used == 0
+        assert r.compression_ratio == float("inf")
+
+    def test_out_of_range_clamped(self, gray_prog):
+        assert gray_prog.report(99).packets_used == 16
+
+
+class TestReceivedImage:
+    def test_full_reception_matches_sender_reconstruction(self, gray_prog):
+        rx = ReceivedImage(64, 64, 1, gray_prog.levels, gray_prog.t0_exps, 16)
+        for p in gray_prog.packets():
+            rx.add_packet(p)
+        assert rx.usable_prefix == 16
+        assert np.allclose(rx.reconstruct(), gray_prog.reconstruct(16))
+
+    def test_gap_limits_usable_prefix(self, gray_prog):
+        rx = ReceivedImage(64, 64, 1, gray_prog.levels, gray_prog.t0_exps, 16)
+        pkts = gray_prog.packets()
+        for i in (0, 1, 2, 5, 6):
+            rx.add_packet(pkts[i])
+        assert rx.received == 5
+        assert rx.usable_prefix == 3
+
+    def test_gap_fill_extends_prefix(self, gray_prog):
+        rx = ReceivedImage(64, 64, 1, gray_prog.levels, gray_prog.t0_exps, 16)
+        pkts = gray_prog.packets()
+        for i in (0, 1, 3):
+            rx.add_packet(pkts[i])
+        assert rx.usable_prefix == 2
+        rx.add_packet(pkts[2])
+        assert rx.usable_prefix == 4
+
+    def test_duplicates_idempotent(self, gray_prog):
+        rx = ReceivedImage(64, 64, 1, gray_prog.levels, gray_prog.t0_exps, 16)
+        p0 = gray_prog.packets()[0]
+        rx.add_packet(p0)
+        rx.add_packet(p0)
+        assert rx.received == 1
+
+    def test_mismatched_total_rejected(self, gray_prog):
+        rx = ReceivedImage(64, 64, 1, gray_prog.levels, gray_prog.t0_exps, 8)
+        with pytest.raises(ValueError):
+            rx.add_packet(gray_prog.packets()[0])
+
+    def test_channel_count_validation(self, gray_prog):
+        with pytest.raises(ValueError):
+            ReceivedImage(64, 64, 3, gray_prog.levels, gray_prog.t0_exps, 16)
+
+    def test_color_reception(self, color_prog):
+        img = color_prog.image
+        rx = ReceivedImage(64, 64, 3, color_prog.levels, color_prog.t0_exps, 16)
+        for p in color_prog.packets()[:8]:
+            rx.add_packet(p)
+        rep = rx.report(original=img)
+        assert rep.packets_used == 8
+        assert rep.psnr_db > 20.0
+
+    def test_report_without_original_has_nan_psnr(self, gray_prog):
+        rx = ReceivedImage(64, 64, 1, gray_prog.levels, gray_prog.t0_exps, 16)
+        rx.add_packet(gray_prog.packets()[0])
+        assert np.isnan(rx.report().psnr_db)

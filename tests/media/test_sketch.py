@@ -1,0 +1,101 @@
+"""Tests for sketch extraction and its wire codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.media.images import collaboration_scene, gradient, to_rgb
+from repro.media.sketch import (
+    SketchError,
+    _rle_decode,
+    _rle_encode,
+    decode_sketch,
+    extract_sketch,
+    sobel_magnitude,
+)
+
+
+class TestSobel:
+    def test_flat_image_no_gradient(self):
+        mag = sobel_magnitude(np.full((16, 16), 100.0))
+        assert np.allclose(mag, 0.0)
+
+    def test_vertical_edge_detected(self):
+        img = np.zeros((16, 16))
+        img[:, 8:] = 255.0
+        mag = sobel_magnitude(img)
+        assert mag[:, 7:9].max() > 0
+        assert np.allclose(mag[:, :4], 0.0)
+
+    def test_color_collapsed_to_gray(self):
+        rgb = to_rgb(collaboration_scene(32, 32))
+        assert sobel_magnitude(rgb).shape == (32, 32)
+
+    def test_bad_ndim(self):
+        with pytest.raises(SketchError):
+            sobel_magnitude(np.zeros(10))
+
+
+class TestExtract:
+    def test_scene_produces_features(self):
+        sk = extract_sketch(collaboration_scene(128, 128))
+        assert 0.0 < sk.mask.mean() < 0.5  # sparse but non-empty
+
+    def test_reduction_factor_2000x_regime(self):
+        """The paper's 'up to 2000 times lesser data' claim."""
+        sk = extract_sketch(to_rgb(collaboration_scene(256, 256)))
+        assert sk.reduction_factor() > 2000.0
+
+    def test_larger_images_reduce_more(self):
+        small = extract_sketch(to_rgb(collaboration_scene(128, 128)))
+        large = extract_sketch(to_rgb(collaboration_scene(512, 512)))
+        assert large.reduction_factor() > small.reduction_factor()
+
+    def test_explicit_downsample(self):
+        sk = extract_sketch(collaboration_scene(64, 64), downsample=2)
+        assert sk.shape == (32, 32)
+
+    def test_downsample_too_large_rejected(self):
+        with pytest.raises(SketchError):
+            extract_sketch(collaboration_scene(32, 32), downsample=16)
+
+    def test_bad_percentile(self):
+        with pytest.raises(SketchError):
+            extract_sketch(collaboration_scene(32, 32), edge_percentile=40.0)
+
+    def test_to_image(self):
+        sk = extract_sketch(collaboration_scene(64, 64))
+        img = sk.to_image()
+        assert img.dtype == np.uint8
+        assert set(np.unique(img)) <= {0, 255}
+
+
+class TestWireCodec:
+    def test_roundtrip(self):
+        sk = extract_sketch(collaboration_scene(128, 128))
+        rt = decode_sketch(sk.encoded, sk.shape, sk.source_shape)
+        assert np.array_equal(rt.mask, sk.mask)
+
+    def test_empty_encoding_rejected(self):
+        with pytest.raises(SketchError):
+            decode_sketch(b"", (4, 4), (16, 16))
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SketchError):
+            decode_sketch(b"Zxxxx", (4, 4), (16, 16))
+
+    @settings(max_examples=50)
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    def test_rle_roundtrip_property(self, bits):
+        arr = np.array(bits, dtype=bool)
+        assert np.array_equal(_rle_decode(_rle_encode(arr), arr.size), arr)
+
+    def test_rle_truncation_detected(self):
+        data = _rle_encode(np.array([True] * 10))
+        with pytest.raises(SketchError):
+            _rle_decode(data, 100)  # declared size exceeds stream
+
+    def test_rle_overrun_detected(self):
+        data = _rle_encode(np.array([True] * 10))
+        with pytest.raises(SketchError):
+            _rle_decode(data, 5)  # run exceeds declared size

@@ -1,0 +1,109 @@
+"""Tests for the in-process semantic bus."""
+
+import pytest
+
+from repro.core.matching import Decision
+from repro.core.profiles import ClientProfile, TransformRule
+from repro.messaging.broker import SemanticBus
+from repro.messaging.message import SemanticMessage
+
+
+@pytest.fixture
+def bus():
+    return SemanticBus()
+
+
+def attach(bus, name, sink, **profile_kwargs):
+    profile = ClientProfile(name, profile_kwargs.pop("attrs", {}), **profile_kwargs)
+    sub = bus.attach(profile, lambda d: sink.append((name, d)))
+    return profile, sub
+
+
+class TestDispatch:
+    def test_selector_routes_by_profile(self, bus):
+        got = []
+        attach(bus, "medic", got, attrs={"role": "medic"})
+        attach(bus, "clerk", got, attrs={"role": "clerk"})
+        n = bus.publish(SemanticMessage.create("hq", "role == 'medic'", kind="alert"))
+        assert n == 1
+        assert [name for name, _ in got] == ["medic"]
+
+    def test_broadcast_true_selector(self, bus):
+        got = []
+        for name in ("a", "b", "c"):
+            attach(bus, name, got)
+        assert bus.publish(SemanticMessage.create("x", "true")) == 3
+
+    def test_sender_excluded(self, bus):
+        got = []
+        profile, _ = attach(bus, "self", got)
+        bus.publish(SemanticMessage.create("self", "true"), exclude=profile)
+        assert got == []
+
+    def test_interest_filters_content(self, bus):
+        got = []
+        attach(bus, "textonly", got, interest="modality == 'text'")
+        bus.publish(SemanticMessage.create("s", "true", headers={"modality": "image"}))
+        assert got == []
+        bus.publish(SemanticMessage.create("s", "true", headers={"modality": "text"}))
+        assert len(got) == 1
+
+    def test_transform_mediated_delivery(self, bus):
+        got = []
+        attach(
+            bus,
+            "jpeg-client",
+            got,
+            interest="encoding == 'jpeg'",
+            transforms=[TransformRule("encoding", "mpeg2", "jpeg")],
+        )
+        bus.publish(SemanticMessage.create("s", "true", headers={"encoding": "mpeg2"}))
+        assert len(got) == 1
+        _, delivery = got[0]
+        assert delivery.result.decision is Decision.ACCEPT_WITH_TRANSFORM
+        assert delivery.result.effective_headers["encoding"] == "jpeg"
+
+    def test_profile_change_takes_effect_immediately(self, bus):
+        """The run-time binding the paper emphasizes: no re-registration."""
+        got = []
+        profile, _ = attach(bus, "c", got, attrs={"role": "observer"})
+        bus.publish(SemanticMessage.create("s", "role == 'medic'"))
+        assert got == []
+        profile.update(role="medic")  # local profile edit only
+        bus.publish(SemanticMessage.create("s", "role == 'medic'"))
+        assert len(got) == 1
+
+
+class TestSubscriptions:
+    def test_detach_stops_delivery(self, bus):
+        got = []
+        _, sub = attach(bus, "c", got)
+        sub.detach()
+        bus.publish(SemanticMessage.create("s", "true"))
+        assert got == []
+        assert bus.subscribers == 0
+
+    def test_detach_idempotent(self, bus):
+        got = []
+        _, sub = attach(bus, "c", got)
+        sub.detach()
+        sub.detach()
+
+    def test_counters(self, bus):
+        got = []
+        _, sub = attach(bus, "c", got, interest="modality == 'text'",
+                        transforms=[TransformRule("modality", "image", "text")])
+        bus.publish(SemanticMessage.create("s", "true", headers={"modality": "text"}))
+        bus.publish(SemanticMessage.create("s", "true", headers={"modality": "image"}))
+        bus.publish(SemanticMessage.create("s", "true", headers={"modality": "audio"}))
+        assert sub.accepted == 1
+        assert sub.transformed == 1
+        assert sub.rejected == 1
+        assert bus.published == 3
+
+    def test_kind_header_visible_to_interest(self, bus):
+        got = []
+        attach(bus, "c", got, interest="kind == 'chat'")
+        bus.publish(SemanticMessage.create("s", "true", kind="chat"))
+        bus.publish(SemanticMessage.create("s", "true", kind="image-share"))
+        assert len(got) == 1

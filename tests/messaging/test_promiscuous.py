@@ -1,0 +1,83 @@
+"""Tests for promiscuous endpoints (interpret-on-behalf-of, rejection taps)."""
+
+import pytest
+
+from repro.core.profiles import ClientProfile
+from repro.messaging.message import SemanticMessage
+from repro.messaging.transport import SemanticEndpoint
+from repro.network.clock import Scheduler
+from repro.network.multicast import MulticastGroup
+from repro.network.simnet import Network
+
+
+@pytest.fixture
+def fabric():
+    sched = Scheduler()
+    net = Network(sched, seed=0)
+    net.add_node("sw")
+    for h in ("a", "b"):
+        net.add_node(h)
+        net.add_link(h, "sw", latency=0.001)
+    return sched, net, MulticastGroup(net, "239.2.2.2", 5004)
+
+
+class TestPromiscuous:
+    def test_rejected_messages_surfaced(self, fabric):
+        sched, net, group = fabric
+        accepted, rejected = [], []
+        profile = ClientProfile("b", {"role": "observer"})
+        SemanticEndpoint(
+            net,
+            "b",
+            group,
+            profile,
+            on_delivery=lambda d: accepted.append(d.message.kind),
+            on_rejected=lambda m: rejected.append(m.kind),
+            promiscuous=True,
+        )
+        sender = SemanticEndpoint(
+            net, "a", group, ClientProfile("a"), on_delivery=lambda d: None
+        )
+        sender.publish(SemanticMessage.create("a", "role == 'observer'", kind="for-b"))
+        sender.publish(SemanticMessage.create("a", "role == 'medic'", kind="not-for-b"))
+        sched.run_for(1.0)
+        assert accepted == ["for-b"]
+        assert rejected == ["not-for-b"]
+
+    def test_non_promiscuous_drops_silently(self, fabric):
+        sched, net, group = fabric
+        rejected = []
+        SemanticEndpoint(
+            net,
+            "b",
+            group,
+            ClientProfile("b", {"role": "observer"}),
+            on_delivery=lambda d: None,
+            on_rejected=lambda m: rejected.append(m.kind),
+            promiscuous=False,
+        )
+        sender = SemanticEndpoint(
+            net, "a", group, ClientProfile("a"), on_delivery=lambda d: None
+        )
+        sender.publish(SemanticMessage.create("a", "role == 'medic'", kind="x"))
+        sched.run_for(1.0)
+        assert rejected == []
+
+    def test_promiscuous_counts_still_accurate(self, fabric):
+        sched, net, group = fabric
+        ep = SemanticEndpoint(
+            net,
+            "b",
+            group,
+            ClientProfile("b", {"role": "observer"}),
+            on_delivery=lambda d: None,
+            on_rejected=lambda m: None,
+            promiscuous=True,
+        )
+        sender = SemanticEndpoint(
+            net, "a", group, ClientProfile("a"), on_delivery=lambda d: None
+        )
+        sender.publish(SemanticMessage.create("a", "role == 'medic'", kind="x"))
+        sched.run_for(1.0)
+        assert ep.received_messages == 1
+        assert ep.accepted_messages == 0

@@ -1,0 +1,185 @@
+"""Tests for the RTP-thin layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.messaging.rtp import (
+    DEFAULT_MTU,
+    HEADER_SIZE,
+    RtpError,
+    RtpPacket,
+    RtpPacketizer,
+    RtpReassembler,
+)
+
+
+def pipe(mtu=200):
+    """A packetizer feeding a reassembler; returns (pktzr, reasm, out)."""
+    out = []
+    packetizer = RtpPacketizer(ssrc=7, mtu=mtu)
+    reassembler = RtpReassembler(lambda ssrc, payload: out.append((ssrc, payload)))
+    return packetizer, reassembler, out
+
+
+class TestPacketizer:
+    def test_small_payload_single_fragment(self):
+        p, _, _ = pipe()
+        frags = p.packetize(b"short")
+        assert len(frags) == 1
+        assert frags[0].frag_count == 1
+
+    def test_large_payload_fragments(self):
+        p, _, _ = pipe(mtu=100)
+        payload = bytes(1000)
+        frags = p.packetize(payload)
+        budget = 100 - HEADER_SIZE
+        assert len(frags) == -(-1000 // budget)
+        assert b"".join(f.payload for f in frags) == payload
+
+    def test_empty_payload_one_fragment(self):
+        p, _, _ = pipe()
+        frags = p.packetize(b"")
+        assert len(frags) == 1
+        assert frags[0].payload == b""
+
+    def test_seq_numbers_global_and_increasing(self):
+        p, _, _ = pipe(mtu=100)
+        seqs = [f.seq for f in p.packetize(bytes(500)) + p.packetize(bytes(500))]
+        assert seqs == list(range(len(seqs)))
+
+    def test_msg_seq_per_message(self):
+        p, _, _ = pipe()
+        a = p.packetize(b"1")[0]
+        b = p.packetize(b"2")[0]
+        assert b.msg_seq == a.msg_seq + 1
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(RtpError):
+            RtpPacketizer(1, mtu=HEADER_SIZE)
+
+    def test_header_roundtrip(self):
+        pkt = RtpPacket(0xDEADBEEF, 42, 3, 9, 1000, b"chunk")
+        rt = RtpPacket.decode(pkt.encode())
+        assert rt == pkt
+
+    def test_malformed_fragment_rejected(self):
+        with pytest.raises(RtpError):
+            RtpPacket.decode(b"short")
+        bad = RtpPacket(1, 1, 5, 3, 1, b"")  # index >= count
+        with pytest.raises(RtpError):
+            RtpPacket.decode(bad.encode())
+
+
+class TestReassembly:
+    def test_in_order_delivery(self):
+        p, r, out = pipe(mtu=100)
+        payload = bytes(range(256)) * 4
+        for f in p.packetize(payload):
+            r.ingest(f.encode())
+        assert out == [(7, payload)]
+
+    def test_out_of_order_reassembly(self):
+        p, r, out = pipe(mtu=100)
+        payload = b"abcdefgh" * 100
+        frags = p.packetize(payload)
+        rng = np.random.default_rng(0)
+        for i in rng.permutation(len(frags)):
+            r.ingest(frags[i].encode())
+        assert out == [(7, payload)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=2000), st.integers(0, 1000))
+    def test_permutation_roundtrip_property(self, payload, seed):
+        p, r, out = pipe(mtu=64)
+        frags = p.packetize(payload)
+        rng = np.random.default_rng(seed)
+        for i in rng.permutation(len(frags)):
+            r.ingest(frags[i].encode())
+        assert out == [(7, payload)]
+
+    def test_duplicate_fragments_ignored(self):
+        p, r, out = pipe(mtu=100)
+        frags = p.packetize(bytes(300))
+        for f in frags:
+            r.ingest(f.encode())
+            r.ingest(f.encode())  # dup
+        assert len(out) == 1
+
+    def test_duplicate_after_completion_ignored(self):
+        p, r, out = pipe()
+        f = p.packetize(b"x")[0]
+        r.ingest(f.encode())
+        r.ingest(f.encode())
+        assert len(out) == 1
+
+    def test_interleaved_messages(self):
+        p, r, out = pipe(mtu=100)
+        f1 = p.packetize(b"1" * 300)
+        f2 = p.packetize(b"2" * 300)
+        for a, b in zip(f1, f2):
+            r.ingest(a.encode())
+            r.ingest(b.encode())
+        assert [payload for _, payload in out] == [b"1" * 300, b"2" * 300]
+
+    def test_two_sources_independent(self):
+        out = []
+        r = RtpReassembler(lambda ssrc, payload: out.append(ssrc))
+        pa = RtpPacketizer(ssrc=1, mtu=100)
+        pb = RtpPacketizer(ssrc=2, mtu=100)
+        for f in pa.packetize(b"a" * 150) + pb.packetize(b"b" * 150):
+            r.ingest(f.encode())
+        assert sorted(out) == [1, 2]
+
+    def test_inconsistent_frag_count_rejected(self):
+        _, r, _ = pipe()
+        r.ingest(RtpPacket(7, 0, 0, 3, 0, b"x").encode())
+        with pytest.raises(RtpError):
+            r.ingest(RtpPacket(7, 0, 1, 4, 1, b"y").encode())
+
+
+class TestLossAccounting:
+    def test_report_counts_loss(self):
+        p, r, _ = pipe(mtu=100)
+        frags = p.packetize(bytes(1000))
+        for f in frags[::2]:  # drop every other fragment
+            r.ingest(f.encode())
+        rep = r.report(7)
+        assert rep.cumulative_lost > 0
+        assert 0.0 < rep.fraction_lost < 1.0
+
+    def test_expire_abandons_old_messages(self):
+        gaps = []
+        p = RtpPacketizer(ssrc=7, mtu=100)
+        r = RtpReassembler(
+            lambda s, payload: None,
+            on_gap=lambda s, mseq, missing: gaps.append((mseq, tuple(missing))),
+            reorder_window=2,
+        )
+        incomplete = p.packetize(bytes(500))
+        r.ingest(incomplete[0].encode())  # fragment 0 only of msg 0
+        for _ in range(5):                # advance the msg_seq horizon
+            for f in p.packetize(b"ok"):
+                r.ingest(f.encode())
+        assert r.expire() == 1
+        assert gaps and gaps[0][0] == 0
+        assert len(gaps[0][1]) == len(incomplete) - 1
+        assert r.report(7).messages_abandoned == 1
+
+    def test_pending_lists_missing(self):
+        p, r, _ = pipe(mtu=100)
+        frags = p.packetize(bytes(500))
+        r.ingest(frags[1].encode())
+        pending = r.pending(7)
+        assert len(pending) == 1
+        msg_seq, missing = pending[0]
+        assert 0 in missing and 1 not in missing
+
+    def test_clean_report(self):
+        p, r, _ = pipe()
+        for f in p.packetize(b"all good"):
+            r.ingest(f.encode())
+        rep = r.report(7)
+        assert rep.cumulative_lost == 0
+        assert rep.fraction_lost == 0.0
+        assert rep.messages_completed == 1

@@ -1,0 +1,138 @@
+"""Tests for the networked semantic endpoint."""
+
+import pytest
+
+from repro.core.matching import Decision
+from repro.core.profiles import ClientProfile, TransformRule
+from repro.messaging.message import SemanticMessage
+from repro.messaging.transport import SemanticEndpoint
+from repro.network.clock import Scheduler
+from repro.network.multicast import MulticastGroup
+from repro.network.simnet import Network
+
+
+@pytest.fixture
+def fabric():
+    sched = Scheduler()
+    net = Network(sched, seed=2)
+    net.add_node("sw")
+    for h in ("a", "b", "c"):
+        net.add_node(h)
+        net.add_link(h, "sw", latency=0.001, bandwidth=1e7)
+    group = MulticastGroup(net, "239.1.1.1", 5004)
+    return sched, net, group
+
+
+def endpoint(net, group, host, sink, **profile_kwargs):
+    profile = ClientProfile(host, profile_kwargs.pop("attrs", {}), **profile_kwargs)
+    return SemanticEndpoint(
+        net, host, group, profile, lambda d, h=host: sink.append((h, d))
+    )
+
+
+class TestPublish:
+    def test_multicast_reaches_matching_profiles(self, fabric):
+        sched, net, group = fabric
+        got = []
+        endpoint(net, group, "a", got, attrs={"role": "medic"})
+        endpoint(net, group, "b", got, attrs={"role": "medic"})
+        endpoint(net, group, "c", got, attrs={"role": "clerk"})
+        sender = endpoint(net, group, "sw", [], attrs={"role": "hq"})
+        sender.publish(SemanticMessage.create("sw", "role == 'medic'", kind="alert"))
+        sched.run_for(1.0)
+        assert sorted(h for h, _ in got) == ["a", "b"]
+
+    def test_no_sender_loopback(self, fabric):
+        sched, net, group = fabric
+        got = []
+        sender = endpoint(net, group, "a", got)
+        sender.publish(SemanticMessage.create("a", "true"))
+        sched.run_for(1.0)
+        assert got == []
+
+    def test_large_message_fragments_and_reassembles(self, fabric):
+        sched, net, group = fabric
+        got = []
+        endpoint(net, group, "b", got)
+        sender = endpoint(net, group, "a", [])
+        body = bytes(range(256)) * 40  # ~10 KB -> multiple fragments
+        n_frags = sender.publish(SemanticMessage.create("a", "true", body=body))
+        assert n_frags > 1
+        sched.run_for(1.0)
+        assert len(got) == 1
+        assert got[0][1].message.body == body
+
+    def test_transform_mediated_accept_over_network(self, fabric):
+        sched, net, group = fabric
+        got = []
+        endpoint(
+            net,
+            group,
+            "b",
+            got,
+            interest="modality == 'text'",
+            transforms=[TransformRule("modality", "image", "text")],
+        )
+        sender = endpoint(net, group, "a", [])
+        sender.publish(
+            SemanticMessage.create("a", "true", headers={"modality": "image"})
+        )
+        sched.run_for(1.0)
+        assert got[0][1].result.decision is Decision.ACCEPT_WITH_TRANSFORM
+
+    def test_unicast_between_endpoints(self, fabric):
+        sched, net, group = fabric
+        got = []
+        rx = endpoint(net, group, "b", got)
+        tx = endpoint(net, group, "a", [])
+        tx.unicast(SemanticMessage.create("a", "true", kind="direct"), rx.address)
+        sched.run_for(1.0)
+        assert got[0][1].message.kind == "direct"
+
+    def test_closed_endpoint_rejects_send(self, fabric):
+        sched, net, group = fabric
+        ep = endpoint(net, group, "a", [])
+        ep.close()
+        with pytest.raises(RuntimeError):
+            ep.publish(SemanticMessage.create("a", "true"))
+
+    def test_closed_endpoint_leaves_group(self, fabric):
+        sched, net, group = fabric
+        got = []
+        rx = endpoint(net, group, "b", got)
+        tx = endpoint(net, group, "a", [])
+        rx.close()
+        tx.publish(SemanticMessage.create("a", "true"))
+        sched.run_for(1.0)
+        assert got == []
+
+    def test_counters(self, fabric):
+        sched, net, group = fabric
+        got = []
+        rx = endpoint(net, group, "b", got, interest="kind == 'chat'")
+        tx = endpoint(net, group, "a", [])
+        tx.publish(SemanticMessage.create("a", "true", kind="chat"))
+        tx.publish(SemanticMessage.create("a", "true", kind="noise"))
+        sched.run_for(1.0)
+        assert tx.sent_messages == 2
+        assert rx.received_messages == 2
+        assert rx.accepted_messages == 1
+
+
+class TestLossyNetwork:
+    def test_rtp_survives_reordering_jitter(self):
+        sched = Scheduler()
+        net = Network(sched, seed=9)
+        net.add_node("sw")
+        for h in ("a", "b"):
+            net.add_node(h)
+            net.add_link(h, "sw", latency=0.001, jitter=0.002, bandwidth=1e7)
+        group = MulticastGroup(net, "239.1.1.1", 5004)
+        got = []
+        endpoint(net, group, "b", got)
+        tx = endpoint(net, group, "a", [])
+        bodies = [bytes([i]) * 3000 for i in range(5)]
+        for body in bodies:
+            tx.publish(SemanticMessage.create("a", "true", body=body))
+        sched.run_for(2.0)
+        assert sorted(d.message.body for _, d in got) == sorted(bodies)

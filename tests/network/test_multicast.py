@@ -1,0 +1,95 @@
+"""Tests for multicast group delivery."""
+
+import pytest
+
+from repro.network.clock import Scheduler
+from repro.network.multicast import MulticastGroup, MulticastSocket
+from repro.network.simnet import Network
+
+
+@pytest.fixture
+def fabric():
+    sched = Scheduler()
+    net = Network(sched, seed=0)
+    net.add_node("sw")
+    for name in ("a", "b", "c"):
+        net.add_node(name)
+        net.add_link(name, "sw", latency=0.001)
+    group = MulticastGroup(net, "239.1.2.3", 5000)
+    return net, group
+
+
+def make_member(net, group, host, sink):
+    return MulticastSocket(
+        net, host, group, on_receive=lambda d, s, h=host: sink.append((h, d))
+    )
+
+
+class TestMembership:
+    def test_members_listed_sorted(self, fabric):
+        net, group = fabric
+        for h in ("c", "a", "b"):
+            MulticastSocket(net, h, group)
+        hosts = [h for h, _ in group.members]
+        assert hosts == ["a", "b", "c"]
+
+    def test_leave_removes_member(self, fabric):
+        net, group = fabric
+        sock = MulticastSocket(net, "a", group)
+        sock.leave()
+        assert group.members == []
+
+    def test_leave_stops_delivery(self, fabric):
+        net, group = fabric
+        got = []
+        member = make_member(net, group, "b", got)
+        sender = MulticastSocket(net, "a", group)
+        member.leave()
+        sender.send(b"x")
+        net.scheduler.run()
+        assert got == []
+
+
+class TestFanOut:
+    def test_all_members_except_sender_receive(self, fabric):
+        net, group = fabric
+        got = []
+        socks = [make_member(net, group, h, got) for h in ("a", "b", "c")]
+        socks[0].send(b"ev")
+        net.scheduler.run()
+        assert sorted(got) == [("b", b"ev"), ("c", b"ev")]
+
+    def test_loopback_delivers_to_sender(self, fabric):
+        net, group = fabric
+        got = []
+        sender = MulticastSocket(
+            net, "a", group, on_receive=lambda d, s: got.append(d), loopback=True
+        )
+        sender.send(b"self")
+        net.scheduler.run()
+        assert got == [b"self"]
+
+    def test_send_returns_member_count(self, fabric):
+        net, group = fabric
+        socks = [MulticastSocket(net, h, group) for h in ("a", "b", "c")]
+        assert socks[0].send(b"x") == 2
+
+    def test_unicast_side_channel(self, fabric):
+        net, group = fabric
+        got = []
+        receiver = make_member(net, group, "b", got)
+        sender = MulticastSocket(net, "a", group)
+        sender.unicast(b"direct", (receiver.host, receiver.local_port))
+        net.scheduler.run()
+        assert got == [("b", b"direct")]
+
+    def test_two_groups_isolated(self, fabric):
+        net, group = fabric
+        other = MulticastGroup(net, "239.9.9.9", 6000)
+        got_a, got_b = [], []
+        make_member(net, group, "b", got_a)
+        make_member(net, other, "c", got_b)
+        MulticastSocket(net, "a", group).send(b"g1")
+        net.scheduler.run()
+        assert got_a == [("b", b"g1")]
+        assert got_b == []

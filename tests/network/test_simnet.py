@@ -1,0 +1,178 @@
+"""Tests for the simulated packet network."""
+
+import numpy as np
+import pytest
+
+from repro.network.clock import Scheduler
+from repro.network.simnet import Link, Network, NetworkError, Packet
+
+
+@pytest.fixture
+def net():
+    sched = Scheduler()
+    network = Network(sched, seed=42)
+    for name in ("a", "b", "c", "d"):
+        network.add_node(name)
+    network.add_link("a", "b", latency=0.001, bandwidth=1e6)
+    network.add_link("b", "c", latency=0.002, bandwidth=1e6)
+    network.add_link("a", "d", latency=0.010, bandwidth=1e6)
+    network.add_link("d", "c", latency=0.010, bandwidth=1e6)
+    return network
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_node("a")
+
+    def test_link_requires_existing_nodes(self, net):
+        with pytest.raises(NetworkError):
+            net.add_link("a", "zzz")
+
+    def test_self_link_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_link("a", "a")
+
+    def test_duplicate_link_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_link("b", "a")  # same link, reversed endpoints
+
+    def test_nodes_sorted(self, net):
+        assert net.nodes == ["a", "b", "c", "d"]
+
+    def test_link_lookup_symmetric(self, net):
+        assert net.link("a", "b") is net.link("b", "a")
+
+    def test_remove_link(self, net):
+        net.remove_link("a", "b")
+        with pytest.raises(NetworkError):
+            net.link("a", "b")
+
+    def test_link_validation(self):
+        with pytest.raises(NetworkError):
+            Link("x", "y", bandwidth=0)
+        with pytest.raises(NetworkError):
+            Link("x", "y", latency=-1)
+        with pytest.raises(NetworkError):
+            Link("x", "y", loss=1.0)
+
+    def test_link_other(self, net):
+        link = net.link("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(NetworkError):
+            link.other("c")
+
+
+class TestRouting:
+    def test_shortest_latency_path_chosen(self, net):
+        path = net.route("a", "c")
+        # a-b-c costs 3 ms, a-d-c costs 20 ms
+        assert [frozenset((l.a, l.b)) for l in path] == [
+            frozenset(("a", "b")),
+            frozenset(("b", "c")),
+        ]
+
+    def test_self_route_is_empty(self, net):
+        assert net.route("a", "a") == []
+
+    def test_unroutable_returns_none(self, net):
+        net.add_node("island")
+        assert net.route("a", "island") is None
+
+    def test_route_cache_invalidated_on_topology_change(self, net):
+        assert len(net.route("a", "c")) == 2
+        net.remove_link("a", "b")
+        path = net.route("a", "c")
+        assert [frozenset((l.a, l.b)) for l in path] == [
+            frozenset(("a", "d")),
+            frozenset(("d", "c")),
+        ]
+
+    def test_path_latency(self, net):
+        assert net.path_latency("a", "c") == pytest.approx(0.003)
+
+    def test_path_bandwidth_bottleneck(self, net):
+        net.link("b", "c").bandwidth = 5e5
+        net._route_cache.clear()
+        assert net.path_bandwidth("a", "c") == 5e5
+
+
+class TestDelivery:
+    def test_end_to_end_delivery(self, net):
+        got = []
+        net.node("c").bind(9, lambda p: got.append(p.payload))
+        assert net.send(Packet("a", 1, "c", 9, b"hello"))
+        net.scheduler.run()
+        assert got == [b"hello"]
+
+    def test_delivery_respects_latency(self, net):
+        times = []
+        net.node("c").bind(9, lambda p: times.append(net.scheduler.clock.now))
+        net.send(Packet("a", 1, "c", 9, b"x"))
+        net.scheduler.run()
+        # >= 3 ms propagation plus serialization
+        assert times[0] >= 0.003
+
+    def test_unbound_port_discards(self, net):
+        net.send(Packet("a", 1, "c", 1234, b"x"))
+        net.scheduler.run()  # no error
+
+    def test_unroutable_send_returns_false(self, net):
+        net.add_node("island")
+        assert net.send(Packet("a", 1, "island", 9, b"x")) is False
+
+    def test_self_delivery_async(self, net):
+        got = []
+        net.node("a").bind(7, lambda p: got.append(p.payload))
+        net.send(Packet("a", 1, "a", 7, b"self"))
+        assert got == []  # not synchronous
+        net.scheduler.run()
+        assert got == [b"self"]
+
+    def test_lossy_link_drops_deterministically(self):
+        sched = Scheduler()
+        net = Network(sched, seed=7)
+        net.add_node("x")
+        net.add_node("y")
+        link = net.add_link("x", "y", loss=0.5)
+        results = [net.send(Packet("x", 1, "y", 9, b"p")) for _ in range(200)]
+        drops = results.count(False)
+        assert 60 <= drops <= 140  # ~50% ± slack
+        assert link.dropped_packets == drops
+
+    def test_fifo_order_preserved_on_shared_link(self, net):
+        """Simultaneous sends serialize in order despite differing sizes."""
+        got = []
+        net.node("c").bind(9, lambda p: got.append(p.payload))
+        net.send(Packet("a", 1, "c", 9, b"L" * 900))  # big first
+        net.send(Packet("a", 1, "c", 9, b"s"))        # small second
+        net.scheduler.run()
+        assert got == [b"L" * 900, b"s"]
+
+    def test_counters_accumulate(self, net):
+        net.node("b").bind(9, lambda p: None)
+        pkt = Packet("a", 1, "b", 9, b"1234")
+        net.send(pkt)
+        net.scheduler.run()
+        link = net.link("a", "b")
+        assert link.tx_octets == pkt.size
+        assert link.delivered_packets == 1
+
+
+class TestJitter:
+    def test_jitter_perturbs_delay(self):
+        sched = Scheduler()
+        net = Network(sched, seed=3)
+        net.add_node("x")
+        net.add_node("y")
+        net.add_link("x", "y", latency=0.001, jitter=0.0005)
+        times = []
+        net.node("y").bind(9, lambda p: times.append(sched.clock.now))
+        t_sent = []
+        for _ in range(20):
+            t_sent.append(sched.clock.now)
+            net.send(Packet("x", 1, "y", 9, b"q"))
+            sched.run()
+        delays = np.diff([0] + times)
+        assert len(set(np.round(delays, 9))) > 1  # not all identical

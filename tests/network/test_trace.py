@@ -1,0 +1,129 @@
+"""Tests for the packet tracer."""
+
+import pytest
+
+from repro.network.clock import Scheduler
+from repro.network.simnet import Network, Packet
+from repro.network.trace import PacketTracer
+
+
+@pytest.fixture
+def fabric():
+    sched = Scheduler()
+    net = Network(sched, seed=4)
+    for n in ("a", "b", "c"):
+        net.add_node(n)
+    net.add_link("a", "b", latency=0.001)
+    net.add_link("b", "c", latency=0.001, loss=0.5)
+    return sched, net
+
+
+class TestTracing:
+    def test_records_and_totals(self, fabric):
+        _, net = fabric
+        tracer = PacketTracer(net)
+        tracer.attach()
+        net.send(Packet("a", 1, "b", 9, b"hello"))
+        net.send(Packet("a", 1, "b", 9, b"world!!"))
+        assert tracer.total_packets == 2
+        assert len(tracer.records) == 2
+        assert tracer.records[0].size == 5 + 28
+        assert tracer.records[0].delivered
+
+    def test_drops_recorded(self, fabric):
+        _, net = fabric
+        tracer = PacketTracer(net)
+        tracer.attach()
+        for _ in range(100):
+            net.send(Packet("a", 1, "c", 9, b"x"))
+        flow = tracer.flows[("a", "c", 9)]
+        assert flow.packets == 100
+        assert 20 <= flow.dropped <= 80
+        assert flow.loss_rate == flow.dropped / 100
+
+    def test_detach_restores(self, fabric):
+        _, net = fabric
+        tracer = PacketTracer(net)
+        tracer.attach()
+        net.send(Packet("a", 1, "b", 9, b"x"))
+        tracer.detach()
+        net.send(Packet("a", 1, "b", 9, b"y"))
+        assert tracer.total_packets == 1
+
+    def test_attach_idempotent(self, fabric):
+        _, net = fabric
+        tracer = PacketTracer(net)
+        tracer.attach()
+        tracer.attach()
+        net.send(Packet("a", 1, "b", 9, b"x"))
+        assert tracer.total_packets == 1  # not double-counted
+
+    def test_capacity_bounds_records_not_flows(self, fabric):
+        _, net = fabric
+        tracer = PacketTracer(net, capacity=3)
+        tracer.attach()
+        for _ in range(10):
+            net.send(Packet("a", 1, "b", 9, b"x"))
+        assert len(tracer.records) == 3
+        assert tracer.flows[("a", "b", 9)].packets == 10
+
+    def test_flow_times(self, fabric):
+        sched, net = fabric
+        tracer = PacketTracer(net)
+        tracer.attach()
+        net.send(Packet("a", 1, "b", 9, b"x"))
+        sched.run_until(5.0)
+        net.send(Packet("a", 1, "b", 9, b"y"))
+        flow = tracer.flows[("a", "b", 9)]
+        assert flow.first_time == 0.0
+        assert flow.last_time == 5.0
+
+
+class TestAnalysis:
+    def test_top_talkers(self, fabric):
+        _, net = fabric
+        tracer = PacketTracer(net)
+        tracer.attach()
+        for _ in range(5):
+            net.send(Packet("a", 1, "b", 9, b"x" * 100))
+        net.send(Packet("b", 1, "a", 9, b"y"))
+        talkers = tracer.top_talkers()
+        assert talkers[0][0] == "a"
+        assert talkers[0][1] > talkers[1][1]
+
+    def test_flows_from(self, fabric):
+        _, net = fabric
+        tracer = PacketTracer(net)
+        tracer.attach()
+        net.send(Packet("a", 1, "b", 9, b"x"))
+        net.send(Packet("b", 1, "a", 7, b"y"))
+        assert set(tracer.flows_from("a")) == {("a", "b", 9)}
+
+    def test_summary_renders(self, fabric):
+        _, net = fabric
+        tracer = PacketTracer(net)
+        tracer.attach()
+        net.send(Packet("a", 1, "b", 9, b"x"))
+        text = tracer.summary()
+        assert "1 packets" in text and "a -> b:9" in text
+
+    def test_whole_deployment_trace(self):
+        """Tracer composes with the full framework."""
+        from repro.core.framework import CollaborationFramework
+
+        fw = CollaborationFramework("traced")
+        tracer = PacketTracer(fw.network)
+        tracer.attach()
+        a = fw.add_wired_client("alice")
+        b = fw.add_wired_client("bob")
+        a.join()
+        b.join()
+        a.send_chat("hello")
+        fw.run_for(1.0)
+        assert tracer.total_packets >= 3  # joins + chat
+        assert tracer.top_talkers()[0][0] in ("alice", "bob")
+
+    def test_invalid_capacity(self, fabric):
+        _, net = fabric
+        with pytest.raises(ValueError):
+            PacketTracer(net, capacity=0)

@@ -1,0 +1,116 @@
+"""Tests for datagram sockets."""
+
+import pytest
+
+from repro.network.clock import Scheduler
+from repro.network.simnet import Network, NetworkError
+from repro.network.udp import EPHEMERAL_BASE, DatagramSocket
+
+
+@pytest.fixture
+def net():
+    sched = Scheduler()
+    network = Network(sched, seed=0)
+    network.add_node("a")
+    network.add_node("b")
+    network.add_link("a", "b", latency=0.001)
+    return network
+
+
+class TestBinding:
+    def test_explicit_bind(self, net):
+        s = DatagramSocket(net, "a")
+        s.bind(100)
+        assert s.port == 100
+
+    def test_double_bind_rejected(self, net):
+        s = DatagramSocket(net, "a")
+        s.bind(100)
+        with pytest.raises(NetworkError):
+            s.bind(101)
+
+    def test_port_collision_rejected(self, net):
+        DatagramSocket(net, "a").bind(100)
+        with pytest.raises(NetworkError):
+            DatagramSocket(net, "a").bind(100)
+
+    def test_same_port_different_hosts_ok(self, net):
+        DatagramSocket(net, "a").bind(100)
+        DatagramSocket(net, "b").bind(100)
+
+    def test_ephemeral_allocation_skips_taken(self, net):
+        s1 = DatagramSocket(net, "a")
+        assert s1.bind_ephemeral() == EPHEMERAL_BASE
+        s2 = DatagramSocket(net, "a")
+        assert s2.bind_ephemeral() == EPHEMERAL_BASE + 1
+
+    def test_close_releases_port(self, net):
+        s = DatagramSocket(net, "a")
+        s.bind(100)
+        s.close()
+        DatagramSocket(net, "a").bind(100)  # port reusable
+
+    def test_closed_socket_rejects_ops(self, net):
+        s = DatagramSocket(net, "a")
+        s.close()
+        with pytest.raises(NetworkError):
+            s.sendto(b"x", ("b", 1))
+        with pytest.raises(NetworkError):
+            s.bind(5)
+
+
+class TestSendReceive:
+    def test_queue_mode_roundtrip(self, net):
+        rx = DatagramSocket(net, "b")
+        rx.bind(7)
+        tx = DatagramSocket(net, "a")
+        tx.sendto(b"ping", ("b", 7))
+        net.scheduler.run()
+        data, src = rx.recvfrom()
+        assert data == b"ping"
+        assert src == ("a", tx.port)
+
+    def test_recvfrom_empty_returns_none(self, net):
+        rx = DatagramSocket(net, "b")
+        rx.bind(7)
+        assert rx.recvfrom() is None
+
+    def test_callback_mode(self, net):
+        got = []
+        rx = DatagramSocket(net, "b")
+        rx.bind(7)
+        rx.on_receive = lambda data, src: got.append((data, src))
+        tx = DatagramSocket(net, "a")
+        tx.sendto(b"x", ("b", 7))
+        net.scheduler.run()
+        assert got == [(b"x", ("a", tx.port))]
+        assert rx.pending == 0  # callback consumed it
+
+    def test_sendto_auto_binds_source(self, net):
+        tx = DatagramSocket(net, "a")
+        assert tx.port is None
+        tx.sendto(b"x", ("b", 7))
+        assert tx.port is not None
+
+    def test_reply_path(self, net):
+        server = DatagramSocket(net, "b")
+        server.bind(7)
+        server.on_receive = lambda data, src: server.sendto(b"pong:" + data, src)
+        client = DatagramSocket(net, "a")
+        client.bind_ephemeral()
+        client.sendto(b"1", ("b", 7))
+        net.scheduler.run()
+        data, src = client.recvfrom()
+        assert data == b"pong:1"
+        assert src == ("b", 7)
+
+    def test_counters(self, net):
+        rx = DatagramSocket(net, "b")
+        rx.bind(7)
+        tx = DatagramSocket(net, "a")
+        for _ in range(3):
+            tx.sendto(b"x", ("b", 7))
+        net.scheduler.run()
+        assert tx.sent_datagrams == 3
+        assert rx.received_datagrams == 3
+        assert rx.pending == 3

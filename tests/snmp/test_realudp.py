@@ -1,0 +1,105 @@
+"""Real-socket SNMP tests (loopback; skipped if sockets are unavailable)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.snmp.ber import Gauge32, OctetString
+from repro.snmp.errors import SnmpErrorResponse, SnmpTimeout
+from repro.snmp.mib import MibTree
+from repro.snmp.oids import MIB2, OID, TASSL
+from repro.snmp.realudp import RealSnmpAgent, RealSnmpManager
+
+
+def _loopback_available() -> bool:
+    try:
+        s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        s.bind(("127.0.0.1", 0))
+        s.close()
+        return True
+    except OSError:
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    not _loopback_available(), reason="loopback UDP unavailable"
+)
+
+
+@pytest.fixture
+def stack():
+    tree = MibTree()
+    tree.register_scalar(MIB2.sysName, OctetString(b"realhost"))
+    box = {"cpu": 33}
+    tree.register_callable(
+        TASSL.hostCpuLoad,
+        lambda: Gauge32(box["cpu"]),
+        setter=lambda v: box.__setitem__("cpu", v.value),
+    )
+    agent = RealSnmpAgent(tree)
+    mgr = RealSnmpManager(timeout=2.0, retries=1)
+    yield agent, mgr, box
+    agent.close()
+    mgr.close()
+
+
+def serve_async(agent, n):
+    t = threading.Thread(target=agent.serve, args=(n,), kwargs={"timeout": 3.0})
+    t.start()
+    return t
+
+
+class TestRealWire:
+    def test_get_over_loopback(self, stack):
+        agent, mgr, _ = stack
+        t = serve_async(agent, 1)
+        out = mgr.get(agent.address, [TASSL.hostCpuLoad])
+        t.join()
+        assert out[0][0] == TASSL.hostCpuLoad
+        assert out[0][1].value == 33
+
+    def test_getnext_over_loopback(self, stack):
+        agent, mgr, _ = stack
+        t = serve_async(agent, 1)
+        oid, value = mgr.get_next(agent.address, MIB2.system)
+        t.join()
+        assert oid == MIB2.sysName
+        assert value.text() == "realhost"
+
+    def test_set_over_loopback(self, stack):
+        agent, mgr, box = stack
+        mgr.community = "private"
+        t = serve_async(agent, 2)
+        mgr.set(agent.address, [(TASSL.hostCpuLoad, Gauge32(77))])
+        out = mgr.get(agent.address, [TASSL.hostCpuLoad])
+        t.join()
+        assert box["cpu"] == 77
+        assert out[0][1].value == 77
+
+    def test_no_such_name_over_loopback(self, stack):
+        agent, mgr, _ = stack
+        t = serve_async(agent, 1)
+        with pytest.raises(SnmpErrorResponse):
+            mgr.get(agent.address, [OID("1.3.9.9.9.0")])
+        t.join()
+
+    def test_timeout_when_agent_silent(self, stack):
+        agent, _, _ = stack
+        mgr = RealSnmpManager(timeout=0.2, retries=0)
+        try:
+            with pytest.raises(SnmpTimeout):
+                mgr.get(agent.address, [TASSL.hostCpuLoad])  # nobody serving
+        finally:
+            mgr.close()
+
+    def test_wrong_community_ignored(self, stack):
+        agent, _, _ = stack
+        mgr = RealSnmpManager(community="wrong", timeout=0.2, retries=0)
+        t = serve_async(agent, 1)
+        try:
+            with pytest.raises(SnmpTimeout):
+                mgr.get(agent.address, [TASSL.hostCpuLoad])
+        finally:
+            mgr.close()
+            t.join()

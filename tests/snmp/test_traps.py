@@ -1,0 +1,175 @@
+"""Tests for SNMPv2c traps and event-driven adaptation."""
+
+import pytest
+
+from repro.hosts.workload import Trace
+from repro.network.clock import Scheduler
+from repro.network.simnet import Network
+from repro.snmp.ber import Gauge32
+from repro.snmp.oids import TASSL
+from repro.snmp.traps import Notification, ThresholdWatch, TrapListener, TrapSender
+
+
+@pytest.fixture
+def fabric():
+    sched = Scheduler()
+    net = Network(sched, seed=0)
+    net.add_node("agent-host")
+    net.add_node("mgr-host")
+    net.add_link("agent-host", "mgr-host", latency=0.001)
+    return sched, net
+
+
+class TestTrapWire:
+    def test_trap_round_trip(self, fabric):
+        sched, net = fabric
+        got: list[Notification] = []
+        TrapListener(net, "mgr-host", got.append)
+        sender = TrapSender(net, "agent-host")
+        sender.send(
+            ("mgr-host", 162),
+            TASSL.cpuHighTrap,
+            [(TASSL.hostCpuLoad, Gauge32(97))],
+        )
+        sched.run()
+        assert len(got) == 1
+        n = got[0]
+        assert n.trap_oid == TASSL.cpuHighTrap
+        assert n.varbinds[0][0] == TASSL.hostCpuLoad
+        assert n.varbinds[0][1].value == 97
+        assert n.source[0] == "agent-host"
+
+    def test_wrong_community_dropped(self, fabric):
+        sched, net = fabric
+        got = []
+        TrapListener(net, "mgr-host", got.append, community="secret")
+        TrapSender(net, "agent-host", community="public").send(
+            ("mgr-host", 162), TASSL.cpuHighTrap, []
+        )
+        sched.run()
+        assert got == []
+
+    def test_garbage_counted_not_fatal(self, fabric):
+        sched, net = fabric
+        got = []
+        listener = TrapListener(net, "mgr-host", got.append)
+        from repro.network.udp import DatagramSocket
+
+        junk = DatagramSocket(net, "agent-host")
+        junk.sendto(b"\x00\x01garbage", ("mgr-host", 162))
+        sched.run()
+        assert listener.decode_failures == 1
+        assert got == []
+
+    def test_uptime_carried(self, fabric):
+        sched, net = fabric
+        got = []
+        TrapListener(net, "mgr-host", got.append)
+        sched.call_after(5.0, lambda: None)
+        sched.run()
+        TrapSender(net, "agent-host").send(("mgr-host", 162), TASSL.cpuHighTrap, [])
+        sched.run()
+        assert got[0].uptime_ticks >= 500
+
+
+class TestThresholdWatch:
+    def make_watch(self, fabric, values, threshold=80.0, direction="above"):
+        sched, net = fabric
+        got = []
+        TrapListener(net, "mgr-host", got.append)
+        sender = TrapSender(net, "agent-host")
+        box = {"i": 0}
+
+        def sample():
+            v = values[min(box["i"], len(values) - 1)]
+            box["i"] += 1
+            return v
+
+        watch = ThresholdWatch(
+            sched,
+            sender,
+            dest=("mgr-host", 162),
+            oid=TASSL.hostPageFaults,
+            sample=sample,
+            threshold=threshold,
+            trap_oid=TASSL.pageFaultHighTrap,
+            direction=direction,
+            interval=1.0,
+        )
+        return sched, watch, got
+
+    def test_single_crossing_single_trap(self, fabric):
+        sched, watch, got = self.make_watch(fabric, [30, 90, 95, 99, 30])
+        watch.start()
+        sched.run_until(6.0)
+        assert watch.crossings == 1
+        assert len(got) == 1
+
+    def test_rearm_after_recovery(self, fabric):
+        sched, watch, got = self.make_watch(fabric, [30, 90, 30, 91, 30])
+        watch.start()
+        sched.run_until(6.0)
+        assert watch.crossings == 2
+
+    def test_below_direction(self, fabric):
+        sched, watch, got = self.make_watch(
+            fabric, [100, 100, 10, 100], threshold=50.0, direction="below"
+        )
+        watch.start()
+        sched.run_until(5.0)
+        assert watch.crossings == 1
+
+    def test_invalid_direction(self, fabric):
+        sched, net = fabric
+        with pytest.raises(ValueError):
+            ThresholdWatch(
+                sched,
+                TrapSender(net, "agent-host"),
+                ("mgr-host", 162),
+                TASSL.hostCpuLoad,
+                lambda: 0.0,
+                50.0,
+                TASSL.cpuHighTrap,
+                direction="sideways",
+            )
+
+    def test_stop_halts_checks(self, fabric):
+        sched, watch, got = self.make_watch(fabric, [30, 30, 95])
+        watch.start()
+        sched.run_until(1.5)
+        watch.stop()
+        sched.run_until(10.0)
+        assert watch.crossings == 0
+
+
+class TestEventDrivenAdaptation:
+    def test_trap_triggers_immediate_decision(self):
+        from repro.core.framework import CollaborationFramework
+
+        fw = CollaborationFramework("traptest")
+        client = fw.add_wired_client(
+            "alice", fault_workload=Trace([30, 30, 95, 95, 30, 30, 95])
+        )
+        watch = fw.add_threshold_trap(client, "page_faults", threshold=80.0)
+        fw.start_hosts()
+        fw.run_for(8.0)
+        # two independent excursions above 80 -> two traps -> two decisions
+        assert watch.crossings == 2
+        assert len(client.traps_received) == 2
+        assert [d.packets for _, d in client.decision_log] == [1, 1]
+
+    def test_trap_listener_idempotent(self):
+        from repro.core.framework import CollaborationFramework
+
+        fw = CollaborationFramework("traptest2")
+        client = fw.add_wired_client("alice")
+        client.enable_trap_listener()
+        client.enable_trap_listener()  # no port clash
+
+    def test_unknown_trap_parameter_rejected(self):
+        from repro.core.framework import CollaborationFramework
+
+        fw = CollaborationFramework("traptest3")
+        client = fw.add_wired_client("alice")
+        with pytest.raises(ValueError):
+            fw.add_threshold_trap(client, "disk_io", threshold=1.0)

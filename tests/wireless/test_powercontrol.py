@@ -1,0 +1,136 @@
+"""Tests for power-control algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.channel import NoiseModel, PathLossModel
+from repro.wireless.powercontrol import (
+    feasible_targets,
+    foschini_miljanic,
+    frame_success_rate,
+    sir_balancing_power,
+    uniform_power_scaling,
+    utility,
+)
+from repro.wireless.sir import sir, to_db
+
+
+@pytest.fixture
+def cell():
+    pathloss = PathLossModel(alpha=4.0, k=1e6)
+    gains = np.array([pathloss.gain(d) for d in (60.0, 90.0, 120.0)])
+    sigma2 = NoiseModel(reference_power=1.0, snr_ref_db=40.0).sigma2
+    return gains, sigma2
+
+
+class TestFrameSuccess:
+    def test_monotone_in_sir(self):
+        gamma = np.linspace(0.1, 20.0, 50)
+        f = frame_success_rate(gamma)
+        assert np.all(np.diff(f) > 0)
+
+    def test_bounds(self):
+        f = frame_success_rate(np.array([0.0, 100.0]))
+        assert f[0] == pytest.approx(0.0)
+        assert f[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            frame_success_rate(np.array([-1.0]))
+
+
+class TestUtility:
+    def test_positive(self, cell):
+        gains, sigma2 = cell
+        u = utility(np.ones(3), gains, sigma2)
+        assert np.all(u >= 0)
+
+    def test_zero_power_rejected(self, cell):
+        gains, sigma2 = cell
+        with pytest.raises(ValueError):
+            utility(np.array([0.0, 1.0, 1.0]), gains, sigma2)
+
+
+class TestUniformScaling:
+    def test_goodman_mandayam_claim(self, cell):
+        """Scaling all powers down raises everyone's bits/joule."""
+        gains, sigma2 = cell
+        out = uniform_power_scaling(np.full(3, 2.0), gains, sigma2, factor=0.5)
+        assert np.all(out["utility_after"] >= out["utility_before"])
+
+    def test_sir_dips_slightly_with_noise(self, cell):
+        gains, sigma2 = cell
+        out = uniform_power_scaling(np.full(3, 2.0), gains, sigma2, factor=0.5)
+        assert np.all(out["sir_db_after"] <= out["sir_db_before"])
+        # but only slightly: interference-limited regime
+        assert np.all(out["sir_db_before"] - out["sir_db_after"] < 1.0)
+
+    def test_no_noise_sir_invariant(self, cell):
+        gains, _ = cell
+        out = uniform_power_scaling(np.full(3, 2.0), gains, 0.0, factor=0.25)
+        assert np.allclose(out["sir_db_after"], out["sir_db_before"])
+
+    def test_bad_factor(self, cell):
+        gains, sigma2 = cell
+        with pytest.raises(ValueError):
+            uniform_power_scaling(np.ones(3), gains, sigma2, factor=0.0)
+
+
+class TestFoschiniMiljanic:
+    def test_converges_to_feasible_targets(self, cell):
+        gains, sigma2 = cell
+        # feasibility needs sum(g/(1+g)) < 1: -4/-5/-6 dB comfortably fits
+        targets = np.array([-4.0, -5.0, -6.0])
+        assert feasible_targets(gains, targets, sigma2)
+        res = foschini_miljanic(gains, targets, sigma2)
+        assert res.converged
+        assert np.allclose(res.sir_db, targets, atol=0.05)
+
+    def test_minimal_power_property(self, cell):
+        """Converged powers should be (near) the minimal solution."""
+        gains, sigma2 = cell
+        targets = np.array([-5.0, -5.0, -5.0])
+        res = foschini_miljanic(gains, targets, sigma2)
+        # perturb downward: any uniformly smaller power vector misses targets
+        worse = sir(res.powers * 0.9, gains, sigma2)
+        assert np.all(to_db(worse) < targets + 0.05)
+
+    def test_infeasible_saturates(self, cell):
+        gains, sigma2 = cell
+        targets = np.array([10.0, 10.0, 10.0])  # 3 clients can't all get 10 dB
+        assert not feasible_targets(gains, targets, sigma2)
+        res = foschini_miljanic(gains, targets, sigma2, max_power=5.0, max_iter=100)
+        assert not res.converged
+        assert np.all(res.powers <= 5.0 + 1e-12)
+
+    def test_single_client_always_feasible(self):
+        gains = np.array([1e-3])
+        assert feasible_targets(gains, np.array([20.0]), 0.0)
+        res = foschini_miljanic(gains, np.array([10.0]), 1e-5, max_power=100.0)
+        assert res.converged
+
+    def test_history_recorded(self, cell):
+        gains, sigma2 = cell
+        res = foschini_miljanic(gains, np.array([-3.0, -3.0, -3.0]), sigma2, keep_history=True)
+        assert len(res.history) == res.iterations
+
+
+class TestSirBalancing:
+    def test_equal_received_power(self, cell):
+        gains, _ = cell
+        p = sir_balancing_power(gains, 1e-4, total_power=3.0)
+        rx = p * gains
+        assert np.allclose(rx, rx[0])
+        assert p.sum() == pytest.approx(3.0)
+
+    def test_far_client_gets_more_power(self, cell):
+        gains, _ = cell
+        p = sir_balancing_power(gains, 1e-4, total_power=3.0)
+        assert p[2] > p[1] > p[0]  # 120 m > 90 m > 60 m
+
+    def test_invalid(self, cell):
+        gains, _ = cell
+        with pytest.raises(ValueError):
+            sir_balancing_power(gains, 1e-4, total_power=0.0)
+        with pytest.raises(ValueError):
+            sir_balancing_power(np.array([0.0, 1.0]), 1e-4, total_power=1.0)
