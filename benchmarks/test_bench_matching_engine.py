@@ -1,0 +1,107 @@
+"""ABL-IDX — indexed vs linear publish dispatch across population sizes.
+
+The matching engine's pitch: with a predicate index over attached
+profiles, a selective publish interprets only its shortlist instead of
+every subscriber, so per-message cost stays near-constant while the
+linear path grows with the population.  This sweep measures publish
+throughput at 10 / 100 / 1000 / 5000 subscribers on both paths with a
+selective selector, and asserts the indexed path is at least 5× faster
+at 1000 subscribers.
+"""
+
+import time
+
+import pytest
+
+from repro.core.profiles import ClientProfile
+from repro.messaging.broker import SemanticBus
+from repro.messaging.message import SemanticMessage
+
+SWEEP = (10, 100, 1000, 5000)
+SELECTOR = "role == 'medic' and battery >= 80"
+N_MESSAGES = 30
+
+
+def build_bus(n, indexed):
+    roles = ("medic", "logistics", "command", "observer")
+    bus = SemanticBus(indexed=indexed)
+    for i in range(n):
+        profile = ClientProfile(
+            f"c{i}",
+            {
+                "role": roles[i % len(roles)],
+                "battery": 10 + (i * 7) % 90,
+                "device": "wireless" if i % 3 == 0 else "wired",
+            },
+        )
+        bus.attach(profile, lambda d: None)
+    return bus
+
+
+def publish_burst(bus):
+    delivered = 0
+    for _ in range(N_MESSAGES):
+        delivered += bus.publish(
+            SemanticMessage.create("hq", SELECTOR, kind="alert")
+        ).delivered
+    return delivered
+
+
+def timed_burst(bus):
+    start = time.perf_counter()
+    delivered = publish_burst(bus)
+    return time.perf_counter() - start, delivered
+
+
+@pytest.mark.benchmark(group="matching-engine")
+@pytest.mark.parametrize("n", SWEEP)
+def test_indexed_publish_sweep(benchmark, n):
+    """Publish throughput with the predicate index at each population size."""
+    bus = build_bus(n, indexed=True)
+    delivered = benchmark.pedantic(publish_burst, args=(bus,), rounds=1, iterations=1)
+    if n >= 100:  # the 10-client population has no high-battery medic
+        assert delivered > 0
+    assert bus.engine.indexed_publishes == N_MESSAGES
+
+
+@pytest.mark.benchmark(group="matching-engine")
+@pytest.mark.parametrize("n", SWEEP)
+def test_linear_publish_sweep(benchmark, n):
+    """The same burst with the index disabled (reference semantics)."""
+    bus = build_bus(n, indexed=False)
+    delivered = benchmark.pedantic(publish_burst, args=(bus,), rounds=1, iterations=1)
+    if n >= 100:
+        assert delivered > 0
+
+
+@pytest.mark.benchmark(group="matching-engine")
+def test_indexed_speedup_at_1000(benchmark):
+    """Acceptance bar: >= 5x publish throughput over linear at 1000
+    subscribers with a selective selector."""
+    n = 1000
+    indexed_bus = build_bus(n, indexed=True)
+    linear_bus = build_bus(n, indexed=False)
+
+    # identical decisions first — the speedup must not change semantics
+    warm_i = indexed_bus.publish(SemanticMessage.create("hq", SELECTOR, kind="alert"))
+    warm_l = linear_bus.publish(SemanticMessage.create("hq", SELECTOR, kind="alert"))
+    assert warm_i.delivered == warm_l.delivered
+    assert warm_i.rejected == warm_l.rejected
+    assert warm_i.matched_via_index and not warm_l.matched_via_index
+    assert warm_i.candidates_checked < warm_l.candidates_checked
+
+    def measure():
+        indexed_s, delivered_i = timed_burst(indexed_bus)
+        linear_s, delivered_l = timed_burst(linear_bus)
+        return indexed_s, linear_s, delivered_i, delivered_l
+
+    indexed_s, linear_s, delivered_i, delivered_l = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert delivered_i == delivered_l
+    speedup = linear_s / indexed_s
+    print(
+        f"\npublish x{N_MESSAGES} at n={n}: linear {linear_s * 1e3:.2f} ms,"
+        f" indexed {indexed_s * 1e3:.2f} ms, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0

@@ -6,9 +6,17 @@ station / wireless extension, and the deployment facade.
 """
 
 from .attributes import MISSING, coerce_value, values_equal
-from .selectors import Selector, SelectorError, TRUE_SELECTOR, parse
+from .selectors import Predicate, Selector, SelectorError, TRUE_SELECTOR, decompose, parse
 from .profiles import ClientProfile, ProfileError, TransformRule
 from .matching import Decision, MatchResult, interpret, match_selector
+from .matching_engine import (
+    MatchingEngine,
+    ProfileIndex,
+    SelectorCache,
+    Shortlist,
+    compile_selector,
+    selector_cache_info,
+)
 from .contracts import Constraint, ContractError, ContractViolation, QoSContract
 from .policies import (
     ModalityTier,
@@ -60,9 +68,11 @@ __all__ = [
     "MISSING",
     "coerce_value",
     "values_equal",
+    "Predicate",
     "Selector",
     "SelectorError",
     "TRUE_SELECTOR",
+    "decompose",
     "parse",
     "ClientProfile",
     "ProfileError",
@@ -71,6 +81,12 @@ __all__ = [
     "MatchResult",
     "interpret",
     "match_selector",
+    "MatchingEngine",
+    "ProfileIndex",
+    "SelectorCache",
+    "Shortlist",
+    "compile_selector",
+    "selector_cache_info",
     "Constraint",
     "ContractError",
     "ContractViolation",

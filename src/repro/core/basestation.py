@@ -26,7 +26,7 @@ Responsibilities implemented here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -79,8 +79,15 @@ class Attachment:
     joined_at: float = 0.0
     sir_db: float = float("nan")
     tier: ModalityTier = ModalityTier.NOTHING
-    #: uplink images in flight: image_id -> viewer-side assembly
-    profile_attrs: dict = field(default_factory=dict)
+    #: BS-side mirror of the client's semantic profile; a real
+    #: :class:`~repro.core.profiles.ClientProfile` so observers (e.g. a
+    #: matching-engine index) can :meth:`~repro.core.profiles.ClientProfile.watch`
+    #: it for change notifications.
+    profile_attrs: Optional[ClientProfile] = None
+
+    def __post_init__(self) -> None:
+        if self.profile_attrs is None:
+            self.profile_attrs = ClientProfile(self.client_id)
 
 
 @dataclass(frozen=True)
@@ -556,7 +563,7 @@ class BaseStation:
             att.tx_power = float(changes["tx_power"])
         if "battery" in changes:
             att.battery = float(changes["battery"])
-        att.profile_attrs.update(changes)
+        att.profile_attrs.update(**changes)
 
     # ------------------------------------------------------------------
     def start_qos_loop(self, interval: float = 0.5, power_control: bool = False) -> None:

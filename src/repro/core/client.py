@@ -135,6 +135,10 @@ class WiredClient:
 
         # session observability
         self.membership = Membership()
+        #: watchable mirrors of peers' announced profiles; observers can
+        #: :meth:`~repro.core.profiles.ClientProfile.watch` an entry to be
+        #: notified when that peer announces a change
+        self.peer_profiles: dict[str, ClientProfile] = {}
         self.archive = SessionArchive()
         self.events_received: list[tuple[float, Event]] = []
         #: when true, this peer answers history requests from its archive
@@ -276,6 +280,10 @@ class WiredClient:
                 timestamp=now,
                 author=event.client_id,
             )
+            peer = self.peer_profiles.get(event.client_id)
+            if peer is None:
+                peer = self.peer_profiles[event.client_id] = ClientProfile(event.client_id)
+            peer.update(**dict(event.changes))
         elif isinstance(event, HistoryRequest):
             self._serve_history(event)
         elif isinstance(event, ImageRepairRequest):

@@ -20,6 +20,7 @@ from itertools import combinations
 from typing import Optional
 
 from .attributes import AttributeValue
+from .matching_engine import compile_selector
 from .profiles import ClientProfile, TransformRule
 from .selectors import Selector
 
@@ -53,13 +54,16 @@ class MatchResult:
         return self.decision is not Decision.REJECT
 
 
-def match_selector(selector: Selector, profile: ClientProfile) -> bool:
-    """Does the message's selector address this profile?"""
-    return selector.matches(profile.snapshot())
+def match_selector(selector: Selector | str, profile: ClientProfile) -> bool:
+    """Does the message's selector address this profile?
+
+    Selector strings are compiled through the process-wide LRU cache.
+    """
+    return compile_selector(selector).matches(profile.snapshot())
 
 
 def interpret(
-    selector: Selector,
+    selector: Selector | str,
     headers: dict[str, AttributeValue],
     profile: ClientProfile,
     max_transforms: int = 2,

@@ -21,7 +21,7 @@ A profile has three faces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from .attributes import AttributeValue, coerce_value, values_equal
 from .selectors import Selector, TRUE_SELECTOR
@@ -100,6 +100,7 @@ class ClientProfile:
         self.transforms: list[TransformRule] = list(transforms)
         #: bumped on every mutation; lets observers cheaply detect change
         self.version = 0
+        self._watchers: list[Callable[["ClientProfile"], None]] = []
 
     # ------------------------------------------------------------------
     # attribute surface (read-mostly mapping)
@@ -125,23 +126,47 @@ class ClientProfile:
         """Set one or more attributes (local, immediate)."""
         for k, v in attrs.items():
             self._attributes[k] = coerce_value(v)
-        self.version += 1
+        self._bump()
 
     def remove(self, *names: str) -> None:
         """Delete attributes; unknown names are ignored."""
         for n in names:
             self._attributes.pop(n, None)
-        self.version += 1
+        self._bump()
 
     def set_interest(self, interest: Selector | str) -> None:
         """Replace the interest selector."""
         self.interest = Selector(interest) if isinstance(interest, str) else interest
-        self.version += 1
+        self._bump()
 
     def add_transform(self, rule: TransformRule) -> None:
         """Register an additional rewrite capability."""
         self.transforms.append(rule)
+        self._bump()
+
+    # ------------------------------------------------------------------
+    # change notification (feeds e.g. the matching engine's index)
+    # ------------------------------------------------------------------
+    def watch(self, callback: Callable[["ClientProfile"], None]) -> Callable[[], None]:
+        """Call ``callback(profile)`` after every mutation.
+
+        Returns an unwatch function; calling it more than once is a
+        no-op.  Watchers must not mutate the profile re-entrantly.
+        """
+        self._watchers.append(callback)
+
+        def unwatch() -> None:
+            try:
+                self._watchers.remove(callback)
+            except ValueError:
+                pass
+
+        return unwatch
+
+    def _bump(self) -> None:
         self.version += 1
+        for cb in tuple(self._watchers):
+            cb(self)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, AttributeValue]:

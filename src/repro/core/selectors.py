@@ -34,11 +34,18 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 from .attributes import MISSING, AttributeMap, values_equal
 
-__all__ = ["Selector", "SelectorError", "parse", "TRUE_SELECTOR"]
+__all__ = [
+    "Selector",
+    "SelectorError",
+    "parse",
+    "TRUE_SELECTOR",
+    "Predicate",
+    "decompose",
+]
 
 
 class SelectorError(ValueError):
@@ -366,6 +373,119 @@ class _Parser:
 
 
 # ----------------------------------------------------------------------
+# conjunctive decomposition (feeds the predicate index)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Predicate:
+    """One indexable (attribute, op, value) constraint of a conjunction.
+
+    ``op`` is one of ``'=='``, ``'<'``, ``'<='``, ``'>'``, ``'>='``,
+    ``'in'``, ``'contains'``, ``'exists'``, or ``'never'`` (a conjunct
+    that is constant-false, so the whole selector matches nothing).  For
+    ``'in'`` the value is a tuple of literals; for ``'exists'`` and
+    ``'never'`` it is ``None``.
+    """
+
+    op: str
+    attribute: str = ""
+    value: Any = None
+
+
+_NEVER = Predicate("never")
+
+_ORDERED_OPS = {"<", "<=", ">", ">="}
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _const_eval(node: Any) -> bool:
+    """Evaluate a conjunct that references no attributes."""
+    return bool(node.evaluate({}))
+
+
+def _decompose_conjunct(node: Any, out: list[Predicate]) -> None:
+    """Extract index-usable predicates from one AND-conjunct.
+
+    Conjuncts we cannot index (``!=``, attribute-vs-attribute
+    comparisons, nested ``or``/``not``) are simply *dropped*: the
+    shortlist they produce is then a superset of the true matches, and
+    the full interpreter re-checks every candidate, so decisions stay
+    identical to a linear scan.
+    """
+    if isinstance(node, _And):
+        for sub in node.operands:
+            _decompose_conjunct(sub, out)
+        return
+    if isinstance(node, _BoolLiteral):
+        if not node.value:
+            out.append(_NEVER)
+        return
+    if isinstance(node, _BoolAttr):
+        out.append(Predicate("==", node.name, True))
+        return
+    if isinstance(node, _Exists):
+        out.append(Predicate("exists", node.name))
+        return
+    if isinstance(node, _Compare):
+        left, right = node.left, node.right
+        if node.op == "in":
+            if isinstance(left, _Attr):
+                out.append(Predicate("in", left.name, tuple(lit.value for lit in right)))
+            elif not _const_eval(node):
+                out.append(_NEVER)
+            return
+        if not node.attributes():  # constant comparison
+            if not _const_eval(node):
+                out.append(_NEVER)
+            return
+        if isinstance(left, _Attr) and isinstance(right, _Attr):
+            return  # two-attribute comparison: not indexable, drop
+        # normalise to  attr <op> literal
+        if isinstance(left, _Literal):
+            if node.op == "contains":
+                # literal contains X: literals are never lists -> false
+                out.append(_NEVER)
+                return
+            left, right = right, left
+            op = node.op if node.op == "==" else _FLIPPED.get(node.op)
+        else:
+            op = node.op
+        lit = right.value
+        if op == "==":
+            out.append(Predicate("==", left.name, lit))
+        elif op == "contains":
+            out.append(Predicate("contains", left.name, lit))
+        elif op in _ORDERED_OPS:
+            # ordered comparisons only ever match numbers against a
+            # numeric literal or strings against a string literal; a
+            # boolean literal can match nothing
+            if isinstance(lit, bool):
+                out.append(_NEVER)
+            else:
+                out.append(Predicate(op, left.name, lit))
+        # '!=' falls through: not indexable, drop the conjunct
+        return
+    # anything else (_Or, _Not) inside the conjunction: drop (superset)
+
+
+def decompose(selector: "Selector") -> Optional[tuple[Predicate, ...]]:
+    """Split a selector into indexable conjunctive predicates.
+
+    Returns ``None`` when the selector's top level is not a conjunction
+    the index can shortlist for (a disjunction or negation), in which
+    case the caller must fall back to a linear scan.  An empty tuple
+    means "no indexable constraint" (e.g. ``true``): every subscriber is
+    a candidate.  The returned predicates are a *sound over-approximation*:
+    any profile matching the selector satisfies all of them.
+    """
+    ast = selector._ast
+    if isinstance(ast, (_Or, _Not)):
+        return None
+    out: list[Predicate] = []
+    _decompose_conjunct(ast, out)
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
 # public surface
 # ----------------------------------------------------------------------
 class Selector:
@@ -380,7 +500,7 @@ class Selector:
     False
     """
 
-    __slots__ = ("text", "_ast")
+    __slots__ = ("text", "_ast", "_plan")
 
     def __init__(self, text: str) -> None:
         self.text = text
@@ -392,6 +512,8 @@ class Selector:
         if parser.peek() is not None:
             tok = parser.peek()
             raise SelectorError(f"trailing input at position {tok.pos} in {text!r}")
+        #: lazily memoised result of :func:`decompose`
+        self._plan: Optional[tuple[Predicate, ...]] | str = "unset"
 
     def matches(self, env: AttributeMap) -> bool:
         """Evaluate against an attribute map (profile or message headers)."""
@@ -400,6 +522,12 @@ class Selector:
     def attributes(self) -> set[str]:
         """All attribute names the expression references."""
         return self._ast.attributes()
+
+    def conjunctive_plan(self) -> Optional[tuple[Predicate, ...]]:
+        """Memoised :func:`decompose` of this selector (see there)."""
+        if isinstance(self._plan, str):
+            self._plan = decompose(self)
+        return self._plan
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Selector) and self._ast == other._ast

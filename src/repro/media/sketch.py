@@ -106,6 +106,8 @@ def _rle_decode(data: bytes, size: int) -> np.ndarray:
         run = 0
         shift = 0
         while True:
+            if pos >= len(data):
+                raise SketchError("truncated RLE varint")
             b = data[pos]
             pos += 1
             run |= (b & 0x7F) << shift

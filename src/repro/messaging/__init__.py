@@ -15,8 +15,14 @@ from .rtp import (
     RtpPacketizer,
     RtpReassembler,
 )
-from .broker import Delivery, SemanticBus, Subscription
-from .transport import SemanticEndpoint
+from .broker import Delivery, PublishResult, SemanticBus, Subscription
+from .transport import (
+    DatagramTransport,
+    LoopbackUDP,
+    SemanticEndpoint,
+    SimTransport,
+    Transport,
+)
 
 __all__ = [
     "MessageId",
@@ -32,7 +38,12 @@ __all__ = [
     "RtpPacketizer",
     "RtpReassembler",
     "Delivery",
+    "PublishResult",
     "SemanticBus",
     "Subscription",
+    "Transport",
+    "DatagramTransport",
+    "SimTransport",
+    "LoopbackUDP",
     "SemanticEndpoint",
 ]

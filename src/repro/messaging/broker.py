@@ -5,6 +5,12 @@ example) and as the reference semantics the networked transport must
 match: *delivery is decided at each receiver by interpreting the selector
 against that receiver's current profile* — the bus holds no roster of
 interests, only opaque endpoints to offer every message to.
+
+Dispatch is accelerated by the :mod:`repro.core.matching_engine`: each
+publish first shortlists candidate subscribers through the predicate
+index, then runs the full interpreter only on the shortlist.  Decisions
+are identical to a linear scan (the index only ever over-approximates);
+construct the bus with ``indexed=False`` to force the linear path.
 """
 
 from __future__ import annotations
@@ -13,10 +19,11 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..core.matching import Decision, MatchResult, interpret
+from ..core.matching_engine import MatchingEngine
 from ..core.profiles import ClientProfile
 from .message import SemanticMessage
 
-__all__ = ["SemanticBus", "Delivery", "Subscription"]
+__all__ = ["SemanticBus", "Delivery", "PublishResult", "Subscription"]
 
 
 @dataclass(frozen=True)
@@ -27,24 +34,99 @@ class Delivery:
     result: MatchResult
 
 
+@dataclass(frozen=True, eq=False)
+class PublishResult:
+    """Structured outcome of one :meth:`SemanticBus.publish`.
+
+    ``delivered`` counts every accepted delivery (plain accepts *and*
+    transformation-mediated ones); ``transformed`` is the subset that
+    needed a transformation; ``rejected`` counts subscribers the message
+    did not reach; ``candidates_checked`` is how many subscribers ran the
+    full interpreter (the index's shortlist size); ``matched_via_index``
+    tells whether the predicate index served this publish or the bus
+    fell back to a linear scan.
+
+    Compares equal to a bare ``int`` (the historical return type) so
+    pre-existing callers like ``bus.publish(...) == 2`` keep working;
+    use ``int(result)`` to get the delivery count explicitly.
+    """
+
+    delivered: int
+    transformed: int
+    rejected: int
+    candidates_checked: int
+    matched_via_index: bool
+
+    def __int__(self) -> int:
+        return self.delivered
+
+    def __index__(self) -> int:
+        return self.delivered
+
+    def __bool__(self) -> bool:
+        return self.delivered > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PublishResult):
+            return (
+                self.delivered,
+                self.transformed,
+                self.rejected,
+                self.candidates_checked,
+                self.matched_via_index,
+            ) == (
+                other.delivered,
+                other.transformed,
+                other.rejected,
+                other.candidates_checked,
+                other.matched_via_index,
+            )
+        if isinstance(other, int):
+            return self.delivered == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.delivered)
+
+
 class Subscription:
     """Handle returned by :meth:`SemanticBus.attach`; detach to leave."""
+
+    _seq_counter = 0
 
     def __init__(self, bus: "SemanticBus", profile: ClientProfile, callback: Callable[[Delivery], None]) -> None:
         self.bus = bus
         self.profile = profile
         self.callback = callback
         self.active = True
+        Subscription._seq_counter += 1
+        self._seq = Subscription._seq_counter  # attach order, for stable delivery order
         # per-subscriber observability
         self.accepted = 0
         self.transformed = 0
-        self.rejected = 0
+        self._offer_base = bus.published  # publishes that predate this subscription
+        self._excluded = 0  # offers suppressed as sender loopback
+        self._frozen_rejected: Optional[int] = None
+
+    @property
+    def rejected(self) -> int:
+        """Messages offered to this subscriber that it did not receive.
+
+        Derived rather than incremented: every publish offered to an
+        attached subscriber ends in exactly one of accept / transform /
+        reject, so the reject count is the remainder — which lets the
+        indexed dispatch path skip non-candidates without touching them.
+        """
+        if self._frozen_rejected is not None:
+            return self._frozen_rejected
+        offered = self.bus.published - self._offer_base - self._excluded
+        return offered - self.accepted - self.transformed
 
     def detach(self) -> None:
         """Leave the session (idempotent)."""
         if self.active:
-            self.bus._detach(self)
             self.active = False
+            self.bus._detach(self)
 
 
 class SemanticBus:
@@ -58,45 +140,92 @@ class SemanticBus:
     >>> _ = bus.publish(SemanticMessage.create("b", "role == 'medic'", kind="alert"))
     >>> got
     ['alert']
+
+    Parameters
+    ----------
+    indexed:
+        When true (default) the bus maintains a predicate index over
+        attached profiles and shortlists candidates per publish; when
+        false every publish linearly interprets against every profile.
+        Either way the delivery decisions are identical.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, indexed: bool = True) -> None:
         self._subs: list[Subscription] = []
+        self.engine: Optional[MatchingEngine] = MatchingEngine() if indexed else None
         self.published = 0
 
     def attach(self, profile: ClientProfile, callback: Callable[[Delivery], None]) -> Subscription:
         """Join the bus with a profile and a delivery callback."""
         sub = Subscription(self, profile, callback)
         self._subs.append(sub)
+        if self.engine is not None:
+            self.engine.add(sub, profile)
         return sub
 
     def _detach(self, sub: Subscription) -> None:
-        self._subs.remove(sub)
+        """Remove a subscription; safe to call more than once."""
+        try:
+            self._subs.remove(sub)
+        except ValueError:
+            pass
+        else:
+            sub._frozen_rejected = sub.rejected  # stop tracking offers
+        if self.engine is not None:
+            self.engine.remove(sub)
 
     @property
     def subscribers(self) -> int:
         return len(self._subs)
 
-    def publish(self, message: SemanticMessage, exclude: Optional[ClientProfile] = None) -> int:
-        """Offer ``message`` to every endpoint; returns acceptances.
+    def publish(
+        self, message: SemanticMessage, exclude: Optional[ClientProfile] = None
+    ) -> PublishResult:
+        """Offer ``message`` to every endpoint; returns a :class:`PublishResult`.
 
         ``exclude`` suppresses sender loopback (a client does not
         re-receive its own events).
         """
         self.published += 1
-        delivered = 0
         headers = message.effective_headers()
-        for sub in list(self._subs):
+        offered = len(self._subs)
+        excluded = 0
+        if exclude is not None:
+            for sub in self._subs:
+                if sub.profile is exclude:
+                    sub._excluded += 1
+                    excluded += 1
+        shortlist = None
+        via_index = False
+        if self.engine is not None:
+            sl = self.engine.shortlist(message.selector)
+            shortlist, via_index = sl.keys, sl.via_index
+        if shortlist is None:
+            candidates = list(self._subs)
+        else:
+            # subscribers the index excluded are rejected without running
+            # the interpreter — same outcome it would reach; attach order
+            # keeps delivery order identical to the linear path
+            candidates = sorted(shortlist, key=lambda s: s._seq)
+        delivered = transformed = checked = 0
+        for sub in candidates:
             if exclude is not None and sub.profile is exclude:
                 continue
+            checked += 1
             result = interpret(message.selector, headers, sub.profile)
             if result.decision is Decision.REJECT:
-                sub.rejected += 1
                 continue
             if result.decision is Decision.ACCEPT_WITH_TRANSFORM:
                 sub.transformed += 1
+                transformed += 1
             else:
                 sub.accepted += 1
             delivered += 1
             sub.callback(Delivery(message, result))
-        return delivered
+        return PublishResult(
+            delivered=delivered,
+            transformed=transformed,
+            rejected=offered - excluded - delivered,
+            candidates_checked=checked,
+            matched_via_index=via_index,
+        )

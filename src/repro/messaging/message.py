@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.attributes import AttributeValue
+from ..core.matching_engine import compile_selector
 from ..core.selectors import Selector
 
 __all__ = ["SemanticMessage", "MessageId", "next_message_id"]
@@ -90,8 +91,13 @@ class SemanticMessage:
         body: bytes = b"",
         kind: str = "event",
     ) -> "SemanticMessage":
-        """Convenience constructor minting a fresh id."""
-        sel = Selector(selector) if isinstance(selector, str) else selector
+        """Convenience constructor minting a fresh id.
+
+        Selector strings are compiled through the process-wide LRU cache
+        (:func:`repro.core.matching_engine.compile_selector`), so a hot
+        selector is lexed/parsed once, not once per message.
+        """
+        sel = compile_selector(selector)
         return cls(
             msg_id=next_message_id(sender),
             selector=sel,

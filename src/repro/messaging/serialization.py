@@ -26,7 +26,7 @@ import struct
 from typing import Any
 
 from ..core.attributes import AttributeValue
-from ..core.selectors import Selector
+from ..core.matching_engine import compile_selector
 from .message import MessageId, SemanticMessage
 
 __all__ = ["encode_message", "decode_message", "WireError"]
@@ -187,7 +187,7 @@ def decode_message(data: bytes) -> SemanticMessage:
     body = data[pos : pos + body_len]
     return SemanticMessage(
         msg_id=MessageId(id_sender, seq),
-        selector=Selector(selector_text),
+        selector=compile_selector(selector_text),
         headers=headers,
         body=body,
         kind=kind,

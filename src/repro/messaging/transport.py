@@ -1,4 +1,4 @@
-"""Networked transport: semantic messages over RTP over simulated multicast.
+"""Networked transport: semantic messages over RTP over pluggable datagram fabrics.
 
 This is the client's *event communication module* wire path (paper
 Sec. 5.3): outgoing messages are serialized, fragmented by the RTP-thin
@@ -6,13 +6,26 @@ layer and multicast; incoming fragments are reassembled, decoded, and
 semantically interpreted against the local profile before anything
 reaches the application.
 
+The wire fabric is abstracted behind the :class:`Transport` protocol:
+
+* :class:`SimTransport` — the default, riding the discrete-event
+  simulator's multicast groups (:mod:`repro.network`);
+* :class:`LoopbackUDP` — real OS UDP sockets on 127.0.0.1 with an
+  explicit peer set, proving the stack is wire-real (poll-driven, no
+  threads).
+
+:class:`SemanticEndpoint` itself only ever touches the protocol surface
+(``send`` / ``unicast`` / ``close`` / ``local_address``), so any object
+implementing it plugs in via :meth:`SemanticEndpoint.over_transport`.
+
 Unicast is also supported (base station ↔ wireless client legs).
 """
 
 from __future__ import annotations
 
+import socket as _socketlib
 import zlib
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol, runtime_checkable
 
 from ..core.matching import Decision, MatchResult, interpret
 from ..core.profiles import ClientProfile
@@ -24,7 +37,186 @@ from .message import SemanticMessage
 from .rtp import DEFAULT_MTU, RtpPacketizer, RtpReassembler
 from .serialization import decode_message, encode_message
 
-__all__ = ["SemanticEndpoint"]
+__all__ = [
+    "Transport",
+    "DatagramTransport",
+    "SimTransport",
+    "LoopbackUDP",
+    "SemanticEndpoint",
+]
+
+#: ``on_receive`` signature shared by every transport: (payload, (host, port)).
+ReceiveCallback = Callable[[bytes, tuple[str, int]], None]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Group-capable datagram fabric the semantic endpoint runs over.
+
+    Implementations deliver inbound datagrams by invoking the
+    ``on_receive`` attribute (when set) with ``(data, (src_host, src_port))``.
+    """
+
+    on_receive: Optional[ReceiveCallback]
+
+    @property
+    def local_address(self) -> tuple[str, int]:
+        """(host, port) peers can unicast replies to."""
+        ...
+
+    def send(self, data: bytes) -> int:
+        """Fan ``data`` out to the whole group; returns datagrams sent."""
+        ...
+
+    def unicast(self, data: bytes, dest: tuple[str, int]) -> bool:
+        """Point-to-point send; returns False when the datagram was dropped."""
+        ...
+
+    def close(self) -> None:
+        """Release the underlying socket(s).  Idempotent."""
+        ...
+
+
+@runtime_checkable
+class DatagramTransport(Protocol):
+    """Point-to-point datagram surface (what the SNMP layers consume).
+
+    :class:`repro.network.udp.DatagramSocket` satisfies this
+    structurally; so would a thin wrapper over a real UDP socket.
+    """
+
+    on_receive: Optional[ReceiveCallback]
+    port: Optional[int]
+
+    def bind(self, port: int) -> None: ...
+
+    def bind_ephemeral(self) -> int: ...
+
+    def sendto(self, data: bytes, dest: tuple[str, int]) -> bool: ...
+
+    def close(self) -> None: ...
+
+
+class SimTransport:
+    """:class:`Transport` over the simulated network's multicast fabric."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        group: MulticastGroup,
+        on_receive: Optional[ReceiveCallback] = None,
+        loopback: bool = False,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.group = group
+        self.on_receive = on_receive
+        self._socket = MulticastSocket(
+            network, host, group, on_receive=self._dispatch, loopback=loopback
+        )
+        self._closed = False
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The simulator clock this transport runs on."""
+        return self.network.scheduler
+
+    @property
+    def local_address(self) -> tuple[str, int]:
+        return (self.host, self._socket.local_port)
+
+    def _dispatch(self, data: bytes, src: tuple[str, int]) -> None:
+        if self.on_receive is not None:
+            self.on_receive(data, src)
+
+    def send(self, data: bytes) -> int:
+        return self._socket.send(data)
+
+    def unicast(self, data: bytes, dest: tuple[str, int]) -> bool:
+        return self._socket.unicast(data, dest)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._socket.leave()
+
+
+class LoopbackUDP:
+    """:class:`Transport` over real OS UDP sockets on the loopback device.
+
+    Group semantics are emulated with an explicit peer set: ``send``
+    unicasts to every registered peer (multicast groups on loopback are
+    not portable).  Reception is poll-driven — call :meth:`poll` to
+    drain ready datagrams into ``on_receive`` — so no threads are
+    involved and tests stay deterministic.
+    """
+
+    def __init__(
+        self,
+        peers: tuple[tuple[str, int], ...] = (),
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_receive: Optional[ReceiveCallback] = None,
+    ) -> None:
+        self.on_receive = on_receive
+        self._sock = _socketlib.socket(_socketlib.AF_INET, _socketlib.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self._sock.setblocking(False)
+        self.peers: list[tuple[str, int]] = list(peers)
+        self._closed = False
+        self.sent_datagrams = 0
+        self.received_datagrams = 0
+
+    @property
+    def local_address(self) -> tuple[str, int]:
+        return self._sock.getsockname()
+
+    def add_peer(self, addr: tuple[str, int]) -> None:
+        """Register a peer to fan ``send`` out to (duplicates ignored)."""
+        if addr not in self.peers:
+            self.peers.append(addr)
+
+    def send(self, data: bytes) -> int:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        me = self.local_address
+        n = 0
+        for peer in self.peers:
+            if peer == me:
+                continue  # no self-loopback, matching multicast semantics
+            self._sock.sendto(data, peer)
+            n += 1
+        self.sent_datagrams += n
+        return n
+
+    def unicast(self, data: bytes, dest: tuple[str, int]) -> bool:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        self._sock.sendto(data, dest)
+        self.sent_datagrams += 1
+        return True
+
+    def poll(self, max_datagrams: int = 64) -> int:
+        """Drain up to ``max_datagrams`` ready datagrams; returns count."""
+        drained = 0
+        while drained < max_datagrams:
+            try:
+                data, src = self._sock.recvfrom(65535)
+            except BlockingIOError:
+                break
+            except OSError:
+                break
+            drained += 1
+            self.received_datagrams += 1
+            if self.on_receive is not None:
+                self.on_receive(data, src)
+        return drained
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
 
 
 class SemanticEndpoint:
@@ -33,7 +225,9 @@ class SemanticEndpoint:
     Parameters
     ----------
     network, host, group:
-        Where to attach; the endpoint joins ``group`` on ``host``.
+        Where to attach; the endpoint joins ``group`` on ``host`` via a
+        :class:`SimTransport`.  (Use :meth:`over_transport` to run on
+        any other :class:`Transport`.)
     profile:
         The local profile all incoming messages are interpreted against.
     on_delivery:
@@ -56,25 +250,91 @@ class SemanticEndpoint:
         on_rejected: Optional[Callable[[SemanticMessage], None]] = None,
         promiscuous: bool = False,
     ) -> None:
-        self.network = network
-        self.host = host
+        transport = SimTransport(network, host, group)
+        self.network: Optional[Network] = network
+        self._init_over(
+            transport,
+            profile,
+            on_delivery,
+            scheduler=network.scheduler,
+            mtu=mtu,
+            expire_interval=expire_interval,
+            on_rejected=on_rejected,
+            promiscuous=promiscuous,
+        )
+
+    @classmethod
+    def over_transport(
+        cls,
+        transport: Transport,
+        profile: ClientProfile,
+        on_delivery: Callable[[Delivery], None],
+        scheduler: Optional[Scheduler] = None,
+        mtu: int = DEFAULT_MTU,
+        expire_interval: float = 0.5,
+        on_rejected: Optional[Callable[[SemanticMessage], None]] = None,
+        promiscuous: bool = False,
+    ) -> "SemanticEndpoint":
+        """Build an endpoint on any :class:`Transport` implementation.
+
+        Without a ``scheduler`` there is no periodic reassembly
+        housekeeping — call :meth:`expire` yourself if partial messages
+        can go stale (e.g. lossy real-socket runs).
+        """
+        self = cls.__new__(cls)
+        self.network = getattr(transport, "network", None)
+        self._init_over(
+            transport,
+            profile,
+            on_delivery,
+            scheduler=scheduler,
+            mtu=mtu,
+            expire_interval=expire_interval,
+            on_rejected=on_rejected,
+            promiscuous=promiscuous,
+        )
+        return self
+
+    def _init_over(
+        self,
+        transport: Transport,
+        profile: ClientProfile,
+        on_delivery: Callable[[Delivery], None],
+        scheduler: Optional[Scheduler],
+        mtu: int,
+        expire_interval: float,
+        on_rejected: Optional[Callable[[SemanticMessage], None]],
+        promiscuous: bool,
+    ) -> None:
+        self._transport = transport
         self.profile = profile
         self.on_delivery = on_delivery
         self.on_rejected = on_rejected
         self.promiscuous = promiscuous
-        self._socket = MulticastSocket(network, host, group, on_receive=self._on_datagram)
-        ssrc = zlib.crc32(f"{host}:{self._socket.local_port}".encode()) & 0xFFFFFFFF
+        transport.on_receive = self._on_datagram
+        host, port = transport.local_address
+        self.host = host
+        ssrc = zlib.crc32(f"{host}:{port}".encode()) & 0xFFFFFFFF
         self._packetizer = RtpPacketizer(ssrc, mtu=mtu)
         self._reassembler = RtpReassembler(self._on_payload)
-        self.scheduler: Scheduler = network.scheduler
+        self.scheduler: Optional[Scheduler] = scheduler
         self._expire_interval = expire_interval
-        self._expire_event = self.scheduler.call_after(expire_interval, self._expire_tick)
+        self._expire_event = (
+            scheduler.call_after(expire_interval, self._expire_tick)
+            if scheduler is not None
+            else None
+        )
         self._closed = False
         # observability
         self.sent_messages = 0
         self.sent_fragments = 0
         self.received_messages = 0
         self.accepted_messages = 0
+
+    @property
+    def transport(self) -> Transport:
+        """The fabric this endpoint sends and receives on."""
+        return self._transport
 
     @property
     def ssrc(self) -> int:
@@ -84,7 +344,7 @@ class SemanticEndpoint:
     @property
     def address(self) -> tuple[str, int]:
         """(host, port) other endpoints can unicast to."""
-        return (self.host, self._socket.local_port)
+        return self._transport.local_address
 
     # ------------------------------------------------------------------
     # sending
@@ -96,7 +356,7 @@ class SemanticEndpoint:
         wire = encode_message(message)
         fragments = self._packetizer.packetize(wire)
         for frag in fragments:
-            self._socket.send(frag.encode())
+            self._transport.send(frag.encode())
         self.sent_messages += 1
         self.sent_fragments += len(fragments)
         return len(fragments)
@@ -108,7 +368,7 @@ class SemanticEndpoint:
         wire = encode_message(message)
         fragments = self._packetizer.packetize(wire)
         for frag in fragments:
-            self._socket.unicast(frag.encode(), dest)
+            self._transport.unicast(frag.encode(), dest)
         self.sent_messages += 1
         self.sent_fragments += len(fragments)
         return len(fragments)
@@ -116,8 +376,11 @@ class SemanticEndpoint:
     # ------------------------------------------------------------------
     # receiving
     # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self.scheduler.clock.now if self.scheduler is not None else 0.0
+
     def _on_datagram(self, data: bytes, src: tuple[str, int]) -> None:
-        self._reassembler.ingest(data, now=self.scheduler.clock.now)
+        self._reassembler.ingest(data, now=self._now())
 
     def _on_payload(self, ssrc: int, payload: bytes) -> None:
         message = decode_message(payload)
@@ -131,10 +394,14 @@ class SemanticEndpoint:
         self.on_delivery(Delivery(message, result))
 
     def _expire_tick(self) -> None:
-        if self._closed:
+        if self._closed or self.scheduler is None:
             return
         self._reassembler.expire()
         self._expire_event = self.scheduler.call_after(self._expire_interval, self._expire_tick)
+
+    def expire(self) -> int:
+        """Manually abandon stale partial messages (schedulerless runs)."""
+        return self._reassembler.expire()
 
     # ------------------------------------------------------------------
     def reception_report(self, ssrc: int):
@@ -145,5 +412,6 @@ class SemanticEndpoint:
         """Leave the group and stop housekeeping."""
         if not self._closed:
             self._closed = True
-            self._expire_event.cancel()
-            self._socket.leave()
+            if self._expire_event is not None:
+                self._expire_event.cancel()
+            self._transport.close()

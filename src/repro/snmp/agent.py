@@ -21,9 +21,11 @@ Message framing (SNMPv1/v2c)::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..network.udp import DatagramSocket
+if TYPE_CHECKING:
+    from ..messaging.transport import DatagramTransport
+
 from .ber import (
     BerError,
     Integer,
@@ -60,7 +62,9 @@ class SnmpAgent:
     Parameters
     ----------
     socket:
-        A bound-or-bindable :class:`~repro.network.udp.DatagramSocket`.
+        A bound-or-bindable datagram endpoint — anything satisfying the
+        :class:`~repro.messaging.transport.DatagramTransport` protocol
+        (e.g. :class:`~repro.network.udp.DatagramSocket`).
     mib:
         The tree of managed objects to serve.
     read_community / write_community:
@@ -70,7 +74,7 @@ class SnmpAgent:
 
     def __init__(
         self,
-        socket: DatagramSocket,
+        socket: "DatagramTransport",
         mib: MibTree,
         read_community: str = "public",
         write_community: str = "private",

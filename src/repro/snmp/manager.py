@@ -13,10 +13,13 @@ surface over an asynchronous wire, with virtual-time timeouts and retries.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence as Seq
+from typing import TYPE_CHECKING, Optional, Sequence as Seq
 
 from ..network.clock import Scheduler
-from ..network.udp import DatagramSocket
+
+if TYPE_CHECKING:
+    from ..messaging.transport import DatagramTransport
+
 from .agent import (
     PDU_GET,
     PDU_GETBULK,
@@ -52,8 +55,10 @@ class SnmpManager:
     Parameters
     ----------
     socket:
-        An unbound :class:`~repro.network.udp.DatagramSocket` on the
-        management station's host.
+        An unbound datagram endpoint on the management station's host —
+        anything satisfying the
+        :class:`~repro.messaging.transport.DatagramTransport` protocol
+        (e.g. :class:`~repro.network.udp.DatagramSocket`).
     scheduler:
         The shared simulation scheduler; pumped while waiting for replies.
     community:
@@ -65,7 +70,7 @@ class SnmpManager:
 
     def __init__(
         self,
-        socket: DatagramSocket,
+        socket: "DatagramTransport",
         scheduler: Scheduler,
         community: str = "public",
         timeout: float = 1.0,

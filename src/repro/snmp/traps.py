@@ -18,11 +18,14 @@ one-way message whose varbind list leads with ``sysUpTime.0`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..network.clock import Scheduler
 from ..network.simnet import Network
 from ..network.udp import DatagramSocket
+
+if TYPE_CHECKING:
+    from ..messaging.transport import DatagramTransport
 from .agent import VERSION_2C
 from .ber import (
     BerError,
@@ -64,9 +67,13 @@ class TrapSender:
         network: Network,
         host: str,
         community: str = "public",
+        socket: Optional["DatagramTransport"] = None,
     ) -> None:
-        self._sock = DatagramSocket(network, host)
-        self._sock.bind_ephemeral()
+        self._sock: "DatagramTransport" = (
+            socket if socket is not None else DatagramSocket(network, host)
+        )
+        if self._sock.port is None:
+            self._sock.bind_ephemeral()
         self.network = network
         self.community = community
         self._request_id = 1
@@ -196,9 +203,13 @@ class TrapListener:
         on_trap: Callable[[Notification], None],
         community: str = "public",
         port: int = TRAP_PORT,
+        socket: Optional["DatagramTransport"] = None,
     ) -> None:
-        self._sock = DatagramSocket(network, host)
-        self._sock.bind(port)
+        self._sock: "DatagramTransport" = (
+            socket if socket is not None else DatagramSocket(network, host)
+        )
+        if self._sock.port is None:
+            self._sock.bind(port)
         self._sock.on_receive = self._on_datagram
         self.on_trap = on_trap
         self.community = community

@@ -1,0 +1,118 @@
+"""Property test: the indexed bus is decision-identical to a linear scan.
+
+The matching engine is only allowed to *narrow where the interpreter
+looks*, never to change what it decides.  This drives randomized
+profile populations and selectors through an indexed and an unindexed
+:class:`~repro.messaging.broker.SemanticBus` and requires identical
+deliveries, per-subscriber counters, and publish results — including
+after mid-run profile mutations (exercising the watch/reindex path).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import interpret
+from repro.core.profiles import ClientProfile
+from repro.core.selectors import Selector
+from repro.messaging.broker import SemanticBus
+from repro.messaging.message import SemanticMessage
+
+ROLES = ["medic", "clerk", "command", "observer"]
+ENCODINGS = ["jpeg", "mpeg2", "pcm"]
+
+attr_values = st.one_of(
+    st.sampled_from(ROLES),
+    st.integers(-5, 5),
+    st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.lists(st.sampled_from(ENCODINGS), max_size=3).map(tuple),
+)
+
+profile_attrs = st.dictionaries(
+    st.sampled_from(["role", "battery", "tier", "urgent", "caps", "enc"]),
+    attr_values,
+    max_size=4,
+)
+
+# a grab-bag of selector shapes: indexable conjunctions, disjunctions and
+# negations (linear fallback), constants, list ops, flipped literals
+SELECTORS = [
+    "true",
+    "false",
+    "role == 'medic'",
+    "'medic' == role",
+    "role != 'medic'",
+    "battery >= 2",
+    "3 > battery",
+    "battery >= 0 and battery <= 3",
+    "role == 'medic' and battery > 1",
+    "role == 'medic' or role == 'clerk'",
+    "not role == 'medic'",
+    "urgent",
+    "urgent == true",
+    "exists(caps)",
+    "caps contains 'jpeg'",
+    "enc in ['jpeg', 'pcm']",
+    "role in ['medic', 'command'] and tier <= 2",
+    "role == 'medic' and (tier == 1 or tier == 2)",
+    "tier == 1 and tier == 1.0",
+    "battery == 2 and role == role",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    populations=st.lists(profile_attrs, min_size=0, max_size=8),
+    selector=st.sampled_from(SELECTORS),
+    mutate=st.one_of(st.none(), st.tuples(st.integers(0, 7), profile_attrs)),
+)
+def test_indexed_and_linear_buses_agree(populations, selector, mutate):
+    indexed = SemanticBus(indexed=True)
+    linear = SemanticBus(indexed=False)
+    got_indexed, got_linear = [], []
+    subs_i, subs_l = [], []
+    for i, attrs in enumerate(populations):
+        pi = ClientProfile(f"c{i}", dict(attrs))
+        pl = ClientProfile(f"c{i}", dict(attrs))
+        subs_i.append(indexed.attach(pi, lambda d, i=i: got_indexed.append((i, d.result.decision))))
+        subs_l.append(linear.attach(pl, lambda d, i=i: got_linear.append((i, d.result.decision))))
+
+    if mutate is not None and populations:
+        idx, new_attrs = mutate
+        idx %= len(populations)
+        subs_i[idx].profile.update(**dict(new_attrs))
+        subs_l[idx].profile.update(**dict(new_attrs))
+
+    msg = SemanticMessage.create("s", selector, headers={"enc": "jpeg"})
+    res_i = indexed.publish(msg)
+    res_l = linear.publish(msg)
+
+    assert got_indexed == got_linear
+    assert (res_i.delivered, res_i.transformed, res_i.rejected) == (
+        res_l.delivered,
+        res_l.transformed,
+        res_l.rejected,
+    )
+    for si, sl in zip(subs_i, subs_l):
+        assert (si.accepted, si.transformed, si.rejected) == (
+            sl.accepted,
+            sl.transformed,
+            sl.rejected,
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    attrs=profile_attrs,
+    selector=st.sampled_from(SELECTORS),
+)
+def test_shortlist_never_loses_a_match(attrs, selector):
+    """Sound over-approximation: every interpreter match is shortlisted."""
+    from repro.core.matching_engine import MatchingEngine
+
+    profile = ClientProfile("c", dict(attrs))
+    eng = MatchingEngine()
+    eng.add("c", profile)
+    sl = eng.shortlist(selector)
+    matches = interpret(Selector(selector), {}, profile).accepted
+    if matches and not sl.linear:
+        assert "c" in sl.keys

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.matching import Decision
 from repro.core.profiles import ClientProfile, TransformRule
-from repro.messaging.broker import SemanticBus
+from repro.messaging.broker import PublishResult, SemanticBus
 from repro.messaging.message import SemanticMessage
 
 
@@ -24,15 +24,16 @@ class TestDispatch:
         got = []
         attach(bus, "medic", got, attrs={"role": "medic"})
         attach(bus, "clerk", got, attrs={"role": "clerk"})
-        n = bus.publish(SemanticMessage.create("hq", "role == 'medic'", kind="alert"))
-        assert n == 1
+        res = bus.publish(SemanticMessage.create("hq", "role == 'medic'", kind="alert"))
+        assert res.delivered == 1
+        assert res.rejected == 1
         assert [name for name, _ in got] == ["medic"]
 
     def test_broadcast_true_selector(self, bus):
         got = []
         for name in ("a", "b", "c"):
             attach(bus, name, got)
-        assert bus.publish(SemanticMessage.create("x", "true")) == 3
+        assert bus.publish(SemanticMessage.create("x", "true")).delivered == 3
 
     def test_sender_excluded(self, bus):
         got = []
@@ -88,6 +89,25 @@ class TestSubscriptions:
         _, sub = attach(bus, "c", got)
         sub.detach()
         sub.detach()
+        assert sub.active is False
+        assert bus.subscribers == 0
+
+    def test_detach_idempotent_via_bus_internal(self, bus):
+        """Even calling the bus-side removal twice must not raise."""
+        got = []
+        _, sub = attach(bus, "c", got)
+        bus._detach(sub)
+        bus._detach(sub)  # regression: used to raise ValueError
+        assert bus.subscribers == 0
+        sub.detach()  # still a no-op after the bus already removed it
+
+    def test_detach_during_other_subscriptions(self, bus):
+        got = []
+        _, sub1 = attach(bus, "a", got)
+        attach(bus, "b", got)
+        sub1.detach()
+        sub1.detach()
+        assert bus.publish(SemanticMessage.create("s", "true")).delivered == 1
 
     def test_counters(self, bus):
         got = []
@@ -107,3 +127,67 @@ class TestSubscriptions:
         bus.publish(SemanticMessage.create("s", "true", kind="chat"))
         bus.publish(SemanticMessage.create("s", "true", kind="image-share"))
         assert len(got) == 1
+
+
+class TestPublishResult:
+    def test_backward_compatible_with_int(self, bus):
+        got = []
+        attach(bus, "medic", got, attrs={"role": "medic"})
+        attach(bus, "clerk", got, attrs={"role": "clerk"})
+        res = bus.publish(SemanticMessage.create("hq", "role == 'medic'"))
+        # historical callers compared the return value to a bare int
+        assert res == 1
+        assert int(res) == 1
+        assert bool(res) is True
+        assert res != 2
+        assert hash(res) == hash(1)
+        assert list(range(3))[res] == 1  # __index__
+
+    def test_field_breakdown(self, bus):
+        got = []
+        attach(bus, "jpeg", got,
+               interest="encoding == 'jpeg'",
+               transforms=[TransformRule("encoding", "mpeg2", "jpeg")])
+        attach(bus, "deaf", got, interest="encoding == 'pcm'")
+        res = bus.publish(
+            SemanticMessage.create("s", "true", headers={"encoding": "mpeg2"})
+        )
+        assert res.delivered == 1
+        assert res.transformed == 1
+        assert res.rejected == 1
+        assert res.candidates_checked == 2  # broadcast: nothing indexable
+
+    def test_zero_deliveries_is_falsy(self, bus):
+        res = bus.publish(SemanticMessage.create("s", "true"))
+        assert not res
+        assert res == 0
+
+    def test_equality_between_results(self, bus):
+        a = PublishResult(1, 0, 2, 3, True)
+        b = PublishResult(1, 0, 2, 3, True)
+        c = PublishResult(1, 0, 2, 3, False)
+        assert a == b
+        assert a != c
+        assert a == 1  # still int-comparable
+
+    def test_index_serves_selective_publish(self, bus):
+        got = []
+        attach(bus, "medic", got, attrs={"role": "medic"})
+        for i in range(5):
+            attach(bus, f"clerk{i}", got, attrs={"role": "clerk"})
+        res = bus.publish(SemanticMessage.create("hq", "role == 'medic'"))
+        assert res.matched_via_index is True
+        assert res.candidates_checked == 1  # only the medic ran interpret()
+        assert res.delivered == 1
+        assert res.rejected == 5  # counter parity with the linear path
+
+    def test_linear_bus_same_decisions(self):
+        linear = SemanticBus(indexed=False)
+        got = []
+        attach(linear, "medic", got, attrs={"role": "medic"})
+        attach(linear, "clerk", got, attrs={"role": "clerk"})
+        res = linear.publish(SemanticMessage.create("hq", "role == 'medic'"))
+        assert res.matched_via_index is False
+        assert res.candidates_checked == 2
+        assert res.delivered == 1
+        assert res.rejected == 1
