@@ -1,0 +1,73 @@
+"""ABL-ANA — static analyzer throughput on generated selector corpora.
+
+The analyzer gates CI, so its cost matters: this bench measures full
+``analyze_selector`` reports (SAT + vacuity, witness re-verification)
+over generated corpora of 100 and 1000 selectors, and the pairwise
+subsumption audit over a registration-sized set.  Corpora mix shapes the
+repo actually uses (role/capability equalities, threshold bands,
+membership, negations) so the numbers reflect gate wall-clock, not a
+micro-loop.
+"""
+
+import pytest
+
+from repro.analysis import Verdict, analyze_selector, analyze_selector_set
+
+ROLES = ("medic", "logistics", "command", "observer")
+ENCODINGS = ("jpeg", "mpeg2", "h261", "png")
+
+
+def build_corpus(n):
+    """``n`` deterministic selectors over the repo's vocabulary."""
+    out = []
+    for i in range(n):
+        role = ROLES[i % len(ROLES)]
+        enc = ENCODINGS[i % len(ENCODINGS)]
+        lo = 10 + (i * 7) % 60
+        shape = i % 5
+        if shape == 0:
+            out.append(f"role == '{role}' and battery >= {lo}")
+        elif shape == 1:
+            out.append(f"load > {lo} and load < {lo + 25} and exists(device)")
+        elif shape == 2:
+            out.append(f"encoding in ['{enc}', 'jpeg'] and caps contains '{enc}'")
+        elif shape == 3:
+            out.append(f"not (role == '{role}') or battery < {lo}")
+        else:
+            out.append(f"kind == 'alert' or (kind == 'chat' and priority >= {lo % 10})")
+    return out
+
+
+def analyze_corpus(corpus):
+    verdicts = [analyze_selector(text).verdict for text in corpus]
+    assert all(v is Verdict.SAT for v in verdicts)  # corpus is well-formed
+    return len(verdicts)
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_analyzer_throughput_100(benchmark):
+    """Full reports over a 100-selector corpus."""
+    corpus = build_corpus(100)
+    analyzed = benchmark(analyze_corpus, corpus)
+    assert analyzed == 100
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_analyzer_throughput_1000(benchmark):
+    """Full reports over a 1000-selector corpus."""
+    corpus = build_corpus(1000)
+    analyzed = benchmark.pedantic(analyze_corpus, args=(corpus,), rounds=1, iterations=1)
+    assert analyzed == 1000
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_subsumption_audit_cost(benchmark):
+    """Pairwise implication/overlap over a registration-sized set."""
+    labelled = [(f"s{i}", text) for i, text in enumerate(build_corpus(40))]
+
+    def audit():
+        return analyze_selector_set(labelled, max_pairs=400)
+
+    diags = benchmark.pedantic(audit, rounds=1, iterations=1)
+    # generated corpus repeats shapes, so the audit must find equivalences
+    assert any(d.code == "SEL005" for d in diags)

@@ -1,0 +1,88 @@
+"""Static verification of semantic configs: selectors, policies, contracts.
+
+The paper's delivery and adaptation decisions hinge on propositional
+semantic selectors and a policy database — a misconfigured selector or a
+contradictory policy silently drops traffic at run time.  This package
+catches those bugs *statically*: at attach/registration time (see the
+runtime hooks on :class:`~repro.messaging.broker.SemanticBus` and
+:class:`~repro.core.policies.PolicyDatabase`) and in CI
+(``python -m repro.analysis --fail-on=error``).
+
+Three analyzer families, all reporting structured
+:class:`~repro.analysis.diagnostics.Diagnostic` objects with stable rule
+codes:
+
+* :mod:`~repro.analysis.selector_analysis` — satisfiability, vacuity,
+  type conflicts, and pairwise implication/overlap over the selector AST
+  (DNF expansion into an interval/set abstract domain);
+* :mod:`~repro.analysis.policy_lint` — step-policy monotonicity and
+  reachability, SIR tier collapse, packet-step conformance, transform
+  cycles/dead rules, contract-vs-policy contradictions;
+* :mod:`~repro.analysis.repo_lint` — custom AST rules over the source
+  tree plus extraction and analysis of selector string literals.
+"""
+
+from .diagnostics import (
+    RULES,
+    Diagnostic,
+    DiagnosticWarning,
+    Severity,
+    filter_diagnostics,
+    max_severity,
+    parse_suppressions,
+)
+from .policy_lint import (
+    PACKET_STEPS,
+    lint_contract_against,
+    lint_policy_database,
+    lint_profile,
+    lint_sir_policy,
+    lint_step_policy,
+    lint_transforms,
+)
+from .repo_lint import extract_selector_literals, lint_file, lint_paths, lint_source
+from .runner import AnalysisReport, analyze_defaults, render_json, render_text, run_analysis
+from .selector_analysis import (
+    SelectorReport,
+    Verdict,
+    analyze_selector,
+    analyze_selector_set,
+    implies,
+    interesting_values,
+    overlaps,
+    selector_diagnostics,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticWarning",
+    "Severity",
+    "RULES",
+    "filter_diagnostics",
+    "max_severity",
+    "parse_suppressions",
+    "Verdict",
+    "SelectorReport",
+    "analyze_selector",
+    "analyze_selector_set",
+    "selector_diagnostics",
+    "implies",
+    "overlaps",
+    "interesting_values",
+    "PACKET_STEPS",
+    "lint_step_policy",
+    "lint_sir_policy",
+    "lint_policy_database",
+    "lint_contract_against",
+    "lint_transforms",
+    "lint_profile",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "extract_selector_literals",
+    "AnalysisReport",
+    "run_analysis",
+    "analyze_defaults",
+    "render_text",
+    "render_json",
+]

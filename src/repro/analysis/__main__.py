@@ -1,0 +1,87 @@
+"""``python -m repro.analysis`` — the static verification CLI.
+
+Examples::
+
+    # lint the shipped defaults + the source tree + the examples
+    python -m repro.analysis
+
+    # gate CI: non-zero exit on any error-severity diagnostic
+    python -m repro.analysis --fail-on=error
+
+    # analyze one selector expression
+    python -m repro.analysis --selector "role == 'medic' and role == 'clerk'"
+
+    # machine-readable output
+    python -m repro.analysis --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from .diagnostics import Severity
+from .runner import render_json, render_text, run_analysis
+
+DEFAULT_PATHS = ("src/repro", "examples")
+
+
+def _default_paths() -> list[str]:
+    return [p for p in DEFAULT_PATHS if os.path.exists(p)]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static verifier for selectors, policies, and QoS contracts.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro and examples when present)",
+    )
+    parser.add_argument(
+        "--selector",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="analyze one selector expression (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="suppress a rule code everywhere (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info", "never"],
+        default="error",
+        help="lowest severity that makes the exit status non-zero (default: error)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument(
+        "--no-defaults",
+        action="store_true",
+        help="skip linting the shipped default policy database",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or ([] if args.selector else _default_paths())
+    report = run_analysis(
+        paths,
+        selectors=args.selector,
+        include_defaults=not args.no_defaults,
+        ignore=args.ignore,
+    )
+    print(render_json(report) if args.json else render_text(report))
+
+    threshold = None if args.fail_on == "never" else Severity.parse(args.fail_on)
+    return 1 if report.fails(threshold) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

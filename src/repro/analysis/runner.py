@@ -1,0 +1,110 @@
+"""Aggregation and rendering: one entry point over every analyzer pass.
+
+:func:`run_analysis` is what both the CLI (``python -m repro.analysis``)
+and the tests drive: it lints the shipped default policy database, walks
+source trees applying the repo-lint rules and the selector extraction,
+optionally analyzes ad-hoc selector expressions, and folds everything
+into a single :class:`AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .diagnostics import Diagnostic, Severity, filter_diagnostics, max_severity
+from .policy_lint import lint_policy_database
+from .repo_lint import lint_paths
+from .selector_analysis import selector_diagnostics
+
+__all__ = ["AnalysisReport", "run_analysis", "analyze_defaults", "render_text", "render_json"]
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Every diagnostic one analysis run produced."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        return max_severity(self.diagnostics)
+
+    def fails(self, threshold: Optional[Severity]) -> bool:
+        """Whether this report should gate (exit non-zero) at ``threshold``."""
+        if threshold is None:
+            return False
+        return any(d.severity >= threshold for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.infos),
+        }
+
+
+def analyze_defaults(*, ignore: Iterable[str] = ()) -> list[Diagnostic]:
+    """Lint the policy database the framework ships with."""
+    from ..core.policies import default_policy_database
+
+    diags = lint_policy_database(default_policy_database())
+    return filter_diagnostics(diags, ignore=ignore)
+
+
+def run_analysis(
+    paths: Iterable[str] = (),
+    *,
+    selectors: Iterable[str] = (),
+    include_defaults: bool = True,
+    ignore: Iterable[str] = (),
+) -> AnalysisReport:
+    """Run every requested pass and aggregate the findings.
+
+    ``paths`` are files/directories for the repo-lint + extraction pass;
+    ``selectors`` are ad-hoc selector expressions to analyze directly.
+    """
+    ignore = tuple(ignore)
+    diags: list[Diagnostic] = []
+    if include_defaults:
+        diags.extend(analyze_defaults(ignore=ignore))
+    if paths:
+        diags.extend(lint_paths(paths, ignore=ignore))
+    for expr in selectors:
+        diags.extend(
+            filter_diagnostics(selector_diagnostics(expr), ignore=ignore)
+        )
+    diags.sort(key=lambda d: (d.file or "", d.line or 0, -int(d.severity), d.code))
+    return AnalysisReport(tuple(diags))
+
+
+def render_text(report: AnalysisReport) -> str:
+    lines = [d.format() for d in report.diagnostics]
+    c = report.counts()
+    lines.append(
+        f"analysis: {c['error']} error(s), {c['warning']} warning(s),"
+        f" {c['info']} info(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    payload = {
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+        "counts": report.counts(),
+        "worst": str(report.worst) if report.worst is not None else None,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

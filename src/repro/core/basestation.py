@@ -402,7 +402,7 @@ class BaseStation:
     def _unicast_event(self, event: Event, dest: tuple[str, int]) -> None:
         msg = SemanticMessage.create(
             sender=self.name,
-            selector="true",
+            selector="true",  # repro: ignore[SEL002] -- deliberate: explicit unicast dest
             headers=event.headers(),
             body=event.to_body(),
             kind=event.kind,

@@ -25,7 +25,7 @@ import numpy as np
 from ..apps.chat import ChatArea
 from ..apps.imageviewer import ImageViewer
 from ..apps.whiteboard import Whiteboard
-from ..media.sketch import extract_sketch
+from ..media.sketch import Sketch, extract_sketch
 from ..media.transformers import Modality, TransformerRegistry, default_registry
 from ..messaging.broker import Delivery
 from ..messaging.message import SemanticMessage
@@ -552,7 +552,7 @@ class WiredClient:
             self._trap_listener = None
 
     # ------------------------------------------------------------------
-    def local_sketch(self, image_id: str):
+    def local_sketch(self, image_id: str) -> Sketch:
         """Extract a sketch from the current reconstruction of an image."""
         return extract_sketch(self.viewer.reconstruct(image_id))
 

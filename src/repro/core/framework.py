@@ -10,7 +10,10 @@ the multicast group, and the session descriptor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:
+    from ..snmp.traps import ThresholdWatch
 
 from ..hosts.host import SimulatedHost
 from ..hosts.snmp_binding import attach_extension_agent
@@ -99,7 +102,7 @@ class CollaborationFramework:
         cpu_workload: Optional[Workload] = None,
         fault_workload: Optional[Workload] = None,
         link_kwargs: Optional[dict] = None,
-        **client_kwargs,
+        **client_kwargs: Any,
     ) -> WiredClient:
         """Create a workstation: node + link + host + agent + client."""
         link = self._add_lan_node(name, **(link_kwargs or {}))
@@ -127,7 +130,7 @@ class CollaborationFramework:
         pathloss: Optional[PathLossModel] = None,
         noise: Optional[NoiseModel] = None,
         policies: Optional[PolicyDatabase] = None,
-        **bs_kwargs,
+        **bs_kwargs: Any,
     ) -> BaseStation:
         """Create a base station peer (its own workstation on the LAN)."""
         link = self._add_lan_node(name)
@@ -188,7 +191,7 @@ class CollaborationFramework:
         threshold: float,
         direction: str = "above",
         interval: float = 0.5,
-    ):
+    ) -> ThresholdWatch:
         """Event-driven adaptation: trap the client when its host's
         ``parameter`` crosses ``threshold``; the client re-runs the
         inference engine immediately instead of waiting for the next poll.

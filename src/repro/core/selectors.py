@@ -49,7 +49,31 @@ __all__ = [
 
 
 class SelectorError(ValueError):
-    """Raised on lexical, syntactic, or (runtime) type errors."""
+    """Raised on lexical, syntactic, or (runtime) type errors.
+
+    When the error can be tied to a token, :attr:`pos` is the 0-based
+    character offset into the selector source and :attr:`line` /
+    :attr:`column` are the 1-based coordinates of that offset, so
+    diagnostics can point at the offending span.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: Optional[str] = None,
+        pos: Optional[int] = None,
+    ) -> None:
+        self.source = source
+        self.pos = pos
+        self.line: Optional[int] = None
+        self.column: Optional[int] = None
+        if source is not None and pos is not None:
+            clamped = min(pos, len(source))
+            self.line = source.count("\n", 0, clamped) + 1
+            self.column = clamped - (source.rfind("\n", 0, clamped) + 1) + 1
+            message = f"{message} (line {self.line}, column {self.column})"
+        super().__init__(message)
 
 
 # ----------------------------------------------------------------------
@@ -83,7 +107,9 @@ def _lex(text: str) -> list[_Token]:
     while pos < len(text):
         m = _TOKEN_RE.match(text, pos)
         if m is None:
-            raise SelectorError(f"bad character {text[pos]!r} at position {pos}")
+            raise SelectorError(
+                f"bad character {text[pos]!r} at position {pos}", source=text, pos=pos
+            )
         pos = m.end()
         kind = m.lastgroup
         if kind == "ws":
@@ -244,6 +270,10 @@ class _Or:
         return set().union(*(o.attributes() for o in self.operands))
 
 
+#: any boolean-expression AST node the parser can produce
+_Node = Union[_Compare, _Exists, _BoolAttr, _BoolLiteral, _Not, _And, _Or]
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -259,7 +289,11 @@ class _Parser:
     def next(self) -> _Token:
         tok = self.peek()
         if tok is None:
-            raise SelectorError(f"unexpected end of selector: {self.source!r}")
+            raise SelectorError(
+                f"unexpected end of selector: {self.source!r}",
+                source=self.source,
+                pos=len(self.source),
+            )
         self.pos += 1
         return tok
 
@@ -268,12 +302,14 @@ class _Parser:
         if tok.kind != kind or (value is not None and tok.value != value):
             raise SelectorError(
                 f"expected {value or kind} at position {tok.pos} in {self.source!r},"
-                f" got {tok.value!r}"
+                f" got {tok.value!r}",
+                source=self.source,
+                pos=tok.pos,
             )
         return tok
 
     # -- grammar ---------------------------------------------------------
-    def parse_expr(self):
+    def parse_expr(self) -> _Node:
         node = self.parse_and()
         parts = [node]
         while (tok := self.peek()) is not None and tok.kind == "or":
@@ -281,7 +317,7 @@ class _Parser:
             parts.append(self.parse_and())
         return parts[0] if len(parts) == 1 else _Or(tuple(parts))
 
-    def parse_and(self):
+    def parse_and(self) -> _Node:
         node = self.parse_not()
         parts = [node]
         while (tok := self.peek()) is not None and tok.kind == "and":
@@ -289,17 +325,21 @@ class _Parser:
             parts.append(self.parse_not())
         return parts[0] if len(parts) == 1 else _And(tuple(parts))
 
-    def parse_not(self):
+    def parse_not(self) -> _Node:
         tok = self.peek()
         if tok is not None and tok.kind == "not":
             self.next()
             return _Not(self.parse_not())
         return self.parse_primary()
 
-    def parse_primary(self):
+    def parse_primary(self) -> _Node:
         tok = self.peek()
         if tok is None:
-            raise SelectorError(f"unexpected end of selector: {self.source!r}")
+            raise SelectorError(
+                f"unexpected end of selector: {self.source!r}",
+                source=self.source,
+                pos=len(self.source),
+            )
         if tok.kind == "exists":
             self.next()
             self.expect("punct", "(")
@@ -316,7 +356,7 @@ class _Parser:
             return _BoolLiteral(tok.kind == "true")
         return self.parse_comparison()
 
-    def parse_operand(self):
+    def parse_operand(self) -> Union[_Attr, _Literal]:
         tok = self.next()
         if tok.kind == "ident":
             return _Attr(tok.value)
@@ -326,7 +366,11 @@ class _Parser:
             return _Literal(tok.value)
         if tok.kind in ("true", "false"):
             return _Literal(tok.kind == "true")
-        raise SelectorError(f"expected operand at position {tok.pos} in {self.source!r}")
+        raise SelectorError(
+            f"expected operand at position {tok.pos} in {self.source!r}",
+            source=self.source,
+            pos=tok.pos,
+        )
 
     def parse_list(self) -> list[_Literal]:
         self.expect("punct", "[")
@@ -338,17 +382,27 @@ class _Parser:
             elif tok.kind in ("true", "false"):
                 items.append(_Literal(tok.kind == "true"))
             else:
-                raise SelectorError(f"expected literal in list at {tok.pos}")
+                raise SelectorError(
+                    f"expected literal in list at {tok.pos}",
+                    source=self.source,
+                    pos=tok.pos,
+                )
             tok = self.next()
             if tok.kind == "punct" and tok.value == "]":
                 break
             if not (tok.kind == "punct" and tok.value == ","):
-                raise SelectorError(f"expected ',' or ']' at position {tok.pos}")
+                raise SelectorError(
+                    f"expected ',' or ']' at position {tok.pos}",
+                    source=self.source,
+                    pos=tok.pos,
+                )
         if not items:
-            raise SelectorError("empty list literal")
+            raise SelectorError("empty list literal", source=self.source, pos=0)
         return items
 
-    def parse_comparison(self):
+    def parse_comparison(self) -> _Node:
+        start = self.peek()
+        start_pos = start.pos if start is not None else len(self.source)
         left = self.parse_operand()
         tok = self.peek()
         if tok is not None and tok.kind == "op":
@@ -368,7 +422,9 @@ class _Parser:
         if isinstance(left, _Literal) and isinstance(left.value, bool):
             return _BoolLiteral(left.value)
         raise SelectorError(
-            f"bare literal {left!r} is not a boolean expression in {self.source!r}"
+            f"bare literal {left!r} is not a boolean expression in {self.source!r}",
+            source=self.source,
+            pos=start_pos,
         )
 
 
@@ -511,7 +567,12 @@ class Selector:
         self._ast = parser.parse_expr()
         if parser.peek() is not None:
             tok = parser.peek()
-            raise SelectorError(f"trailing input at position {tok.pos} in {text!r}")
+            assert tok is not None
+            raise SelectorError(
+                f"trailing input at position {tok.pos} in {text!r}",
+                source=text,
+                pos=tok.pos,
+            )
         #: lazily memoised result of :func:`decompose`
         self._plan: Optional[tuple[Predicate, ...]] | str = "unset"
 
@@ -544,5 +605,6 @@ def parse(text: str) -> Selector:
     return Selector(text)
 
 
-#: Matches every profile — broadcast to the whole session.
-TRUE_SELECTOR = Selector("true")
+#: Matches every profile — broadcast to the whole session.  The vacuity
+#: (tautology) warning is intentional here: this selector *is* broadcast.
+TRUE_SELECTOR = Selector("true")  # repro: ignore[SEL002]

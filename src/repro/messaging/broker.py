@@ -148,20 +148,40 @@ class SemanticBus:
         attached profiles and shortlists candidates per publish; when
         false every publish linearly interprets against every profile.
         Either way the delivery decisions are identical.
+    validate_profiles:
+        When true, every :meth:`attach` statically analyzes the profile
+        (interest-selector satisfiability/vacuity, transform-rule lint —
+        see :mod:`repro.analysis`) and emits a
+        :class:`~repro.analysis.diagnostics.DiagnosticWarning` per
+        finding.  Delivery behaviour is never changed: a diagnosable
+        profile still attaches.
     """
 
-    def __init__(self, indexed: bool = True) -> None:
+    def __init__(self, indexed: bool = True, validate_profiles: bool = False) -> None:
         self._subs: list[Subscription] = []
         self.engine: Optional[MatchingEngine] = MatchingEngine() if indexed else None
         self.published = 0
+        self.validate_profiles = validate_profiles
 
     def attach(self, profile: ClientProfile, callback: Callable[[Delivery], None]) -> Subscription:
         """Join the bus with a profile and a delivery callback."""
+        if self.validate_profiles:
+            self._warn_diagnosable(profile)
         sub = Subscription(self, profile, callback)
         self._subs.append(sub)
         if self.engine is not None:
             self.engine.add(sub, profile)
         return sub
+
+    @staticmethod
+    def _warn_diagnosable(profile: ClientProfile) -> None:
+        """Surface static-analysis findings for a profile as warnings."""
+        import warnings
+
+        from ..analysis import DiagnosticWarning, lint_profile
+
+        for diag in lint_profile(profile):
+            warnings.warn(diag.format(), DiagnosticWarning, stacklevel=3)
 
     def _detach(self, sub: Subscription) -> None:
         """Remove a subscription; safe to call more than once."""

@@ -183,3 +183,45 @@ class TestProperties:
     @given(st.dictionaries(names, values, max_size=4))
     def test_true_matches_everything(self, env):
         assert TRUE_SELECTOR.matches(env)
+
+
+class TestErrorPositions:
+    """Regression: SelectorError carries the offending token's span."""
+
+    def test_lex_error_position(self):
+        with pytest.raises(SelectorError) as ei:
+            Selector("a == @b")
+        err = ei.value
+        assert err.pos == 5
+        assert (err.line, err.column) == (1, 6)
+        assert err.source == "a == @b"
+        assert "line 1, column 6" in str(err)
+
+    def test_parse_error_position(self):
+        with pytest.raises(SelectorError) as ei:
+            Selector("a == ) and b == 2")
+        err = ei.value
+        assert err.pos == 5
+        assert (err.line, err.column) == (1, 6)
+
+    def test_trailing_input_position(self):
+        with pytest.raises(SelectorError) as ei:
+            Selector("a == 1 b")
+        assert ei.value.pos == 7
+        assert ei.value.column == 8
+
+    def test_unexpected_end_points_past_source(self):
+        with pytest.raises(SelectorError) as ei:
+            Selector("a ==")
+        assert ei.value.pos == 4
+
+    def test_multiline_line_column(self):
+        src = "a == 1\nand b == )"
+        with pytest.raises(SelectorError) as ei:
+            Selector(src)
+        assert (ei.value.line, ei.value.column) == (2, 10)
+
+    def test_bare_literal_position(self):
+        with pytest.raises(SelectorError) as ei:
+            Selector("a == 1 and 5")
+        assert ei.value.pos == 11
