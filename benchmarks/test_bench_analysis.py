@@ -71,3 +71,62 @@ def test_subsumption_audit_cost(benchmark):
     diags = benchmark.pedantic(audit, rounds=1, iterations=1)
     # generated corpus repeats shapes, so the audit must find equivalences
     assert any(d.code == "SEL005" for d in diags)
+
+
+# ----------------------------------------------------------------------
+# dataflow engine cost (call graph + UNI/EXC/RES passes)
+# ----------------------------------------------------------------------
+from repro.analysis import build_call_graph_from_sources, dataflow_diagnostics
+
+_DATAFLOW_MODULE = (
+    "class WireError(Exception):\n"
+    "    pass\n"
+    "def parse_{i}(data):\n"
+    "    if not data:\n"
+    "        raise WireError('empty')\n"
+    "    return data\n"
+    "def deliver_{i}(data, src):\n"
+    "    try:\n"
+    "        parse_{i}(data)\n"
+    "    except WireError:\n"
+    "        return\n"
+    "def attach_{i}(sock):\n"
+    "    sock.on_receive = deliver_{i}\n"
+    "def budget_{i}(rate_bps, margin_db):\n"
+    "    window_bps = rate_bps + {i}\n"
+    "    return window_bps\n"
+    "def poll_{i}(net):\n"
+    "    sock = DatagramSocket(net, 'a')\n"
+    "    try:\n"
+    "        sock.sendto(b'x', ('b', 7))\n"
+    "    finally:\n"
+    "        sock.close()\n"
+)
+
+
+def build_dataflow_corpus(n_modules):
+    """``n_modules`` synthetic modules exercising every rule family."""
+    return [
+        (f"src/pkg/mod{i}.py", _DATAFLOW_MODULE.replace("{i}", str(i)))
+        for i in range(n_modules)
+    ]
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_callgraph_construction_cost(benchmark):
+    """Two-pass call-graph build over a 50-module synthetic tree."""
+    sources = build_dataflow_corpus(50)
+    graph = benchmark(build_call_graph_from_sources, sources)
+    assert len(graph) == 50 * 5  # five functions per module
+
+
+@pytest.mark.benchmark(group="analysis")
+def test_dataflow_pass_throughput(benchmark):
+    """All UNI/EXC/RES passes (fixpoints included) over a prebuilt graph."""
+    graph = build_call_graph_from_sources(build_dataflow_corpus(50))
+
+    def run():
+        return dataflow_diagnostics(graph)
+
+    diags = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert diags == []  # corpus is the clean idiom for every family

@@ -19,9 +19,36 @@ codes:
   reachability, SIR tier collapse, packet-step conformance, transform
   cycles/dead rules, contract-vs-policy contradictions;
 * :mod:`~repro.analysis.repo_lint` — custom AST rules over the source
-  tree plus extraction and analysis of selector string literals.
+  tree plus extraction and analysis of selector string literals;
+* :mod:`~repro.analysis.dataflow` — cross-layer dataflow over the
+  project call graph (:mod:`~repro.analysis.callgraph`): physical-unit
+  propagation (dB vs linear, bit/s vs byte/s, s/ms/µs), exception-escape
+  summaries for dispatch boundaries, and path-sensitive socket/transport
+  lifecycle tracking.
+
+CI gates on *new* findings only via a checked-in baseline
+(:mod:`~repro.analysis.baseline`), and emits SARIF for code-scanning
+annotations (:mod:`~repro.analysis.sarif`).
 """
 
+from .baseline import apply_baseline, dump_baseline, fingerprint, load_baseline
+from .callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_call_graph,
+    build_call_graph_from_sources,
+)
+from .dataflow import (
+    GAUGE_UNITS,
+    RESOURCE_TYPES,
+    SIGNATURES,
+    Unit,
+    analyze_dataflow,
+    compute_escaping_exceptions,
+    compute_return_units,
+    dataflow_diagnostics,
+)
 from .diagnostics import (
     RULES,
     Diagnostic,
@@ -42,6 +69,7 @@ from .policy_lint import (
 )
 from .repo_lint import extract_selector_literals, lint_file, lint_paths, lint_source
 from .runner import AnalysisReport, analyze_defaults, render_json, render_text, run_analysis
+from .sarif import render_sarif
 from .selector_analysis import (
     SelectorReport,
     Verdict,
@@ -85,4 +113,22 @@ __all__ = [
     "analyze_defaults",
     "render_text",
     "render_json",
+    "render_sarif",
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "build_call_graph",
+    "build_call_graph_from_sources",
+    "Unit",
+    "SIGNATURES",
+    "GAUGE_UNITS",
+    "RESOURCE_TYPES",
+    "analyze_dataflow",
+    "dataflow_diagnostics",
+    "compute_return_units",
+    "compute_escaping_exceptions",
+    "fingerprint",
+    "load_baseline",
+    "dump_baseline",
+    "apply_baseline",
 ]

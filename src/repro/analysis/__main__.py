@@ -5,14 +5,18 @@ Examples::
     # lint the shipped defaults + the source tree + the examples
     python -m repro.analysis
 
-    # gate CI: non-zero exit on any error-severity diagnostic
-    python -m repro.analysis --fail-on=error
+    # gate CI: non-zero exit on any new warning-or-worse diagnostic
+    python -m repro.analysis --baseline analysis-baseline.json --fail-on warning
+
+    # accept the current findings as the baseline
+    python -m repro.analysis --write-baseline analysis-baseline.json
 
     # analyze one selector expression
     python -m repro.analysis --selector "role == 'medic' and role == 'clerk'"
 
     # machine-readable output
-    python -m repro.analysis --json
+    python -m repro.analysis --format json
+    python -m repro.analysis --format sarif > analysis.sarif
 """
 
 from __future__ import annotations
@@ -22,8 +26,11 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from .baseline import apply_baseline, dump_baseline, load_baseline, stale_entries
+from .runner import AnalysisReport
 from .diagnostics import Severity
 from .runner import render_json, render_text, run_analysis
+from .sarif import render_sarif
 
 DEFAULT_PATHS = ("src/repro", "examples")
 
@@ -35,7 +42,7 @@ def _default_paths() -> list[str]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static verifier for selectors, policies, and QoS contracts.",
+        description="Static verifier for selectors, policies, contracts, and dataflow.",
     )
     parser.add_argument(
         "paths",
@@ -62,22 +69,84 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="error",
         help="lowest severity that makes the exit status non-zero (default: error)",
     )
-    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON instead of text (alias for --format json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="drop findings recorded in FILE; only new findings remain",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record the current findings to FILE and exit 0",
+    )
     parser.add_argument(
         "--no-defaults",
         action="store_true",
         help="skip linting the shipped default policy database",
     )
+    parser.add_argument(
+        "--no-dataflow",
+        action="store_true",
+        help="skip the dataflow passes (units, exceptions, resources)",
+    )
     args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"baseline {args.baseline} not found; treating as empty", file=sys.stderr)
+            baseline = {}
 
     paths = args.paths or ([] if args.selector else _default_paths())
     report = run_analysis(
         paths,
         selectors=args.selector,
         include_defaults=not args.no_defaults,
+        include_dataflow=not args.no_dataflow,
         ignore=args.ignore,
     )
-    print(render_json(report) if args.json else render_text(report))
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as fh:
+            fh.write(dump_baseline(list(report.diagnostics)))
+        print(
+            f"wrote {len(report.diagnostics)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if baseline is not None:
+        stale = stale_entries(list(report.diagnostics), baseline)
+        report = AnalysisReport(
+            tuple(apply_baseline(list(report.diagnostics), baseline))
+        )
+        if stale:
+            print(
+                f"note: {sum(stale.values())} baseline entr(ies) no longer match"
+                " any finding; consider re-writing the baseline",
+                file=sys.stderr,
+            )
+
+    fmt = "json" if args.json else args.format
+    if fmt == "sarif":
+        print(render_sarif(list(report.diagnostics)), end="")
+    elif fmt == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
 
     threshold = None if args.fail_on == "never" else Severity.parse(args.fail_on)
     return 1 if report.fails(threshold) else 0

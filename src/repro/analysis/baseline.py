@@ -1,0 +1,98 @@
+"""Baseline workflow: gate CI on *new* findings only.
+
+A baseline file is a JSON multiset of diagnostic fingerprints.  The
+fingerprint deliberately excludes line/column — refactors move code
+around, and a known finding three lines lower is not a regression — but
+includes code, file, subject, and message, so a *second* instance of a
+baselined problem in the same file still fails the gate (counts are a
+multiset, not a set).
+
+Workflow::
+
+    # accept the current findings as the debt to pay down later
+    python -m repro.analysis --write-baseline analysis-baseline.json
+
+    # CI: fail only on findings not in the baseline
+    python -m repro.analysis --baseline analysis-baseline.json --fail-on warning
+
+A baseline entry that no longer matches anything is reported by
+:func:`stale_entries` so the file can be shrunk as debt is paid.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "dump_baseline",
+    "apply_baseline",
+    "stale_entries",
+]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable identity of a finding across unrelated line moves."""
+    return "|".join(
+        (diag.code, (diag.file or "").replace("\\", "/"), diag.subject, diag.message)
+    )
+
+
+def load_baseline(path: str) -> dict[str, int]:
+    """Read ``path`` into a fingerprint -> count multiset."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a baseline file")
+    out: dict[str, int] = {}
+    for entry in payload["findings"]:
+        out[entry["fingerprint"]] = int(entry.get("count", 1))
+    return out
+
+
+def dump_baseline(diagnostics: Sequence[Diagnostic]) -> str:
+    """Serialize the current findings as a baseline file body."""
+    counts: dict[str, int] = {}
+    for d in diagnostics:
+        fp = fingerprint(d)
+        counts[fp] = counts.get(fp, 0) + 1
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": [
+            {"fingerprint": fp, "count": n} for fp, n in sorted(counts.items())
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def apply_baseline(
+    diagnostics: Iterable[Diagnostic], baseline: dict[str, int]
+) -> list[Diagnostic]:
+    """Drop findings covered by ``baseline`` (multiset semantics)."""
+    remaining = dict(baseline)
+    out: list[Diagnostic] = []
+    for d in diagnostics:
+        fp = fingerprint(d)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            continue
+        out.append(d)
+    return out
+
+
+def stale_entries(
+    diagnostics: Iterable[Diagnostic], baseline: dict[str, int]
+) -> dict[str, int]:
+    """Baseline counts not matched by any current finding (paid-down debt)."""
+    remaining = dict(baseline)
+    for d in diagnostics:
+        fp = fingerprint(d)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+    return {fp: n for fp, n in remaining.items() if n > 0}

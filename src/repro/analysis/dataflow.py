@@ -1,0 +1,1499 @@
+"""Cross-layer dataflow verification: units, exception flow, resource lifecycle.
+
+Three rule families run over the :mod:`~repro.analysis.callgraph`:
+
+**Units (UNI001–005).**  An abstract domain of physical units — dB vs
+linear ratio, W/mW, bps/kbps/bytes-per-second, s/ms/µs, bytes/bits/
+packets — seeded from a registry of known signatures (``to_db``,
+``from_db``, scheduler delays, MIB gauge scales) and from naming
+conventions (``*_db``, ``*_bps``, ``*_ms``, ...), then propagated
+intraprocedurally with call-graph return summaries.  Mixed-unit
+arithmetic, dB-for-linear call arguments, and mis-scaled SNMP gauge
+probes are flagged.
+
+**Exception flow (EXC001–003).**  A fixpoint over the call graph
+computes which exception types can escape each function (raises, minus
+enclosing handlers, plus callee summaries).  Callbacks registered on
+delivery boundaries (``on_receive=``/``on_delivery=``/RTP reassembly)
+must not leak codec/wire errors; scheduler callbacks must not leak at
+all; handlers on dispatch paths must not silently swallow failures.
+
+**Resource lifecycle (RES001–003).**  Path-sensitive tracking of
+transport/socket objects (``DatagramSocket``, ``MulticastSocket``,
+``LoopbackUDP``, real sockets, SNMP endpoints): leak-on-exception and
+never-closed locals, straight-line double close, and use-after-close.
+Objects that escape the creating function (returned, stored on ``self``,
+passed along) are exempt from leak checks — ownership moved.
+
+Every finding flows through the shared :class:`~repro.analysis.diagnostics.Diagnostic`
+model, so ``# repro: ignore[CODE]`` suppression, severity gating, the
+baseline file, and SARIF output all apply.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .callgraph import CallGraph, CallSite, FunctionInfo, build_call_graph
+from .diagnostics import Diagnostic, filter_diagnostics, parse_suppressions, rule_severity
+
+__all__ = [
+    "Unit",
+    "UNIT_DIMENSIONS",
+    "UNIT_SCALES",
+    "SIGNATURES",
+    "METHOD_SIGNATURES",
+    "GAUGE_UNITS",
+    "RESOURCE_TYPES",
+    "WIRE_ERROR_TYPES",
+    "UnitSig",
+    "compute_escaping_exceptions",
+    "compute_return_units",
+    "dataflow_diagnostics",
+    "analyze_dataflow",
+]
+
+
+# ======================================================================
+# the unit domain
+# ======================================================================
+class Unit:
+    """String-valued unit constants (a flat abstract domain + UNKNOWN)."""
+
+    DB = "dB"
+    LINEAR = "linear"
+    WATT = "W"
+    MILLIWATT = "mW"
+    BPS = "bit/s"
+    KBPS = "kbit/s"
+    BYTES_PER_SEC = "byte/s"
+    SECONDS = "s"
+    MILLISECONDS = "ms"
+    MICROSECONDS = "us"
+    BYTES = "byte"
+    BITS = "bit"
+    PACKETS = "packet"
+
+
+#: dimension name -> units belonging to it (units in different dimensions
+#: never mix in +/-/comparison; units in the same dimension need a scale
+#: conversion)
+UNIT_DIMENSIONS: dict[str, frozenset[str]] = {
+    "ratio": frozenset({Unit.DB, Unit.LINEAR}),
+    "power": frozenset({Unit.WATT, Unit.MILLIWATT}),
+    "rate": frozenset({Unit.BPS, Unit.KBPS, Unit.BYTES_PER_SEC}),
+    "time": frozenset({Unit.SECONDS, Unit.MILLISECONDS, Unit.MICROSECONDS}),
+    "data": frozenset({Unit.BYTES, Unit.BITS, Unit.PACKETS}),
+}
+
+#: scale of each unit relative to its dimension's base (for gauge checks);
+#: packets have no fixed scale and never convert by a constant factor
+UNIT_SCALES: dict[str, float] = {
+    Unit.WATT: 1.0,
+    Unit.MILLIWATT: 1e-3,
+    Unit.BPS: 1.0,
+    Unit.KBPS: 1e3,
+    Unit.BYTES_PER_SEC: 8.0,
+    Unit.SECONDS: 1.0,
+    Unit.MILLISECONDS: 1e-3,
+    Unit.MICROSECONDS: 1e-6,
+    Unit.BITS: 1.0,
+    Unit.BYTES: 8.0,
+}
+
+
+def dimension_of(unit: str) -> Optional[str]:
+    for dim, members in UNIT_DIMENSIONS.items():
+        if unit in members:
+            return dim
+    return None
+
+
+def _mismatch_code(a: str, b: str) -> str:
+    """Which UNI rule a unit pair violates (assumes ``a != b``)."""
+    da, db_ = dimension_of(a), dimension_of(b)
+    if da == db_:
+        if da == "rate":
+            return "UNI003"
+        if da == "time":
+            return "UNI004"
+        if da == "data":
+            return "UNI005"
+    return "UNI001"
+
+
+#: ``name`` / ``name_suffix`` -> unit, longest suffix tried first
+_NAME_SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_bytes_per_sec", Unit.BYTES_PER_SEC),
+    ("_seconds", Unit.SECONDS),
+    ("_packets", Unit.PACKETS),
+    ("_kbps", Unit.KBPS),
+    ("_bytes", Unit.BYTES),
+    ("_bits", Unit.BITS),
+    ("_secs", Unit.SECONDS),
+    ("_sec", Unit.SECONDS),
+    ("_bps", Unit.BPS),
+    ("_db", Unit.DB),
+    ("_ms", Unit.MILLISECONDS),
+    ("_us", Unit.MICROSECONDS),
+    ("_mw", Unit.MILLIWATT),
+)
+
+#: exact variable/parameter names with a conventional meaning in this tree
+_NAME_EXACT_UNITS: dict[str, str] = {
+    "sir": Unit.LINEAR,
+    "gamma": Unit.LINEAR,
+    "packet_bits": Unit.BITS,
+    "frame_bits": Unit.BITS,
+    "packets": Unit.PACKETS,
+}
+
+
+def unit_from_name(name: str) -> Optional[str]:
+    """Unit implied by a variable/parameter/key name, if any."""
+    low = name.lower()
+    if low in _NAME_EXACT_UNITS:
+        return _NAME_EXACT_UNITS[low]
+    for suffix, unit in _NAME_SUFFIX_UNITS:
+        if low.endswith(suffix) and len(low) > len(suffix):
+            return unit
+    return None
+
+
+@dataclass(frozen=True)
+class UnitSig:
+    """Known units of one callable: parameter units and return unit.
+
+    ``params`` maps positional index (``self`` excluded) *or* keyword
+    name to a unit.
+    """
+
+    params: dict[object, str] = field(default_factory=dict)
+    returns: Optional[str] = None
+
+
+#: dotted-suffix-keyed signatures for module-level functions
+SIGNATURES: dict[str, UnitSig] = {
+    "sir.to_db": UnitSig({0: Unit.LINEAR, "x": Unit.LINEAR}, Unit.DB),
+    "sir.from_db": UnitSig({0: Unit.DB, "x_db": Unit.DB}, Unit.LINEAR),
+    "sir.sir": UnitSig({}, Unit.LINEAR),
+    "sir.sir_sweep": UnitSig({}, Unit.LINEAR),
+    "sir.sir_matrix": UnitSig({}, Unit.LINEAR),
+    "sir.sir_db": UnitSig({}, Unit.DB),
+    "linkquality.bit_error_rate": UnitSig({0: Unit.LINEAR, "gamma": Unit.LINEAR}, Unit.LINEAR),
+    "linkquality.packet_loss_probability": UnitSig(
+        {0: Unit.LINEAR, "gamma": Unit.LINEAR, "packet_bits": Unit.BITS}, Unit.LINEAR
+    ),
+    "linkquality.loss_for_sir_db": UnitSig(
+        {0: Unit.DB, "sir_db": Unit.DB, "coding_gain_db": Unit.DB, "packet_bits": Unit.BITS},
+        Unit.LINEAR,
+    ),
+    "linkquality.effective_throughput": UnitSig(
+        {0: Unit.LINEAR, "gamma": Unit.LINEAR, "rate_bps": Unit.BPS}, Unit.BPS
+    ),
+    "powercontrol.frame_success_rate": UnitSig(
+        {0: Unit.LINEAR, "gamma": Unit.LINEAR, "frame_bits": Unit.BITS}, Unit.LINEAR
+    ),
+}
+
+#: (class short name, method) signatures — clock/scheduler times are seconds
+METHOD_SIGNATURES: dict[tuple[str, str], UnitSig] = {
+    ("Scheduler", "call_after"): UnitSig({0: Unit.SECONDS, "delay": Unit.SECONDS}),
+    ("Scheduler", "call_at"): UnitSig({0: Unit.SECONDS, "t": Unit.SECONDS}),
+    ("Scheduler", "run_until"): UnitSig({0: Unit.SECONDS, "t": Unit.SECONDS}),
+    ("Scheduler", "run_for"): UnitSig({0: Unit.SECONDS, "duration": Unit.SECONDS}),
+    ("SirTierPolicy", "tier"): UnitSig({0: Unit.DB, "sir_db": Unit.DB}),
+    ("PolicyDatabase", "decide_tier"): UnitSig({0: Unit.DB, "sir_db": Unit.DB}),
+}
+
+#: MIB object (rightmost attribute name) -> unit of the raw gauge value,
+#: per the TASSL/MIB-II definitions in snmp/oids.py and the bindings in
+#: hosts/snmp_binding.py / snmp/switch_binding.py
+GAUGE_UNITS: dict[str, str] = {
+    "linkBandwidth": Unit.BYTES_PER_SEC,  # TASSL gauge is bytes/s on the wire
+    "linkLatencyUs": Unit.MICROSECONDS,
+    "linkJitterUs": Unit.MICROSECONDS,
+    "ifSpeed": Unit.BPS,  # MIB-II ifSpeed is bits/s
+    "ifInOctets": Unit.BYTES,
+    "ifOutOctets": Unit.BYTES,
+}
+
+#: attribute names with conventional units *inside gauge transforms only*
+#: (Link.latency/jitter are seconds, Link.bandwidth is bytes/s in simnet)
+_GAUGE_ATTR_UNITS: dict[str, str] = {
+    "latency": Unit.SECONDS,
+    "jitter": Unit.SECONDS,
+    "bandwidth": Unit.BYTES_PER_SEC,
+}
+
+#: calls that pass their first argument's unit through unchanged
+_IDENTITY_CALLS = frozenset(
+    {
+        "asarray",
+        "atleast_1d",
+        "atleast_2d",
+        "ascontiguousarray",
+        "abs",
+        "float",
+        "round",
+        "minimum",
+        "maximum",
+        "clip",
+        "copy",
+        "broadcast_to",
+        "full_like",
+    }
+)
+
+
+# ======================================================================
+# exception-flow registries
+# ======================================================================
+#: exception types that wire input can trigger: crossing a dispatch
+#: boundary unhandled means a malformed datagram kills the event loop
+WIRE_ERROR_TYPES = frozenset(
+    {
+        "WireError",
+        "RtpError",
+        "BerError",
+        "SnmpProtocolError",
+        "SerializationError",
+        "UnicodeDecodeError",
+    }
+)
+
+#: builtin exception hierarchy fallback (project classes come from the graph)
+_BUILTIN_BASES: dict[str, tuple[str, ...]] = {
+    "ValueError": ("Exception",),
+    "TypeError": ("Exception",),
+    "KeyError": ("LookupError",),
+    "IndexError": ("LookupError",),
+    "LookupError": ("Exception",),
+    "RuntimeError": ("Exception",),
+    "OSError": ("Exception",),
+    "UnicodeDecodeError": ("ValueError",),
+    "ZeroDivisionError": ("ArithmeticError",),
+    "ArithmeticError": ("Exception",),
+    "StopIteration": ("Exception",),
+    "Exception": ("BaseException",),
+}
+
+#: kwarg names whose value is a delivery/receive callback
+_DELIVERY_CALLBACK_KWARGS = frozenset({"on_receive", "on_delivery", "on_payload", "on_rejected"})
+
+#: (callable short name, positional index) pairs that take a delivery callback
+_DELIVERY_CALLBACK_POSITIONS: dict[str, int] = {"RtpReassembler": 0}
+
+#: path fragments where EXC003 (silent swallow) applies
+_DISPATCH_FILE_FRAGMENTS = (
+    "messaging/",
+    "network/",
+    "snmp/",
+    "core/matching",
+    "core/inference",
+    "core/events",
+)
+
+
+# ======================================================================
+# resource-lifecycle registry
+# ======================================================================
+@dataclass(frozen=True)
+class ResourceType:
+    """Lifecycle surface of one resource class."""
+
+    close_methods: tuple[str, ...]
+    use_methods: tuple[str, ...]
+
+
+RESOURCE_TYPES: dict[str, ResourceType] = {
+    "DatagramSocket": ResourceType(("close",), ("bind", "bind_ephemeral", "sendto")),
+    "MulticastSocket": ResourceType(("leave", "close"), ("send", "unicast")),
+    "SimTransport": ResourceType(("close",), ("send", "unicast")),
+    "LoopbackUDP": ResourceType(("close",), ("send", "unicast", "poll")),
+    "RealSnmpAgent": ResourceType(("close",), ("serve", "serve_once")),
+    "RealSnmpManager": ResourceType(("close",), ("get", "get_next", "set")),
+    "SnmpManager": ResourceType(("close",), ("get", "get_scalar", "get_next", "set", "walk")),
+    "NetworkStateInterface": ResourceType(("close",), ("poll",)),
+    "SemanticEndpoint": ResourceType(("close",), ("publish", "unicast")),
+    "socket": ResourceType(("close",), ("bind", "sendto", "recvfrom", "send", "recv", "connect")),
+}
+
+#: calls that never raise — don't count as a leak hazard between
+#: acquisition and release
+_SAFE_CALLS = frozenset(
+    {
+        "len",
+        "isinstance",
+        "getattr",
+        "id",
+        "repr",
+        "str",
+        "print",
+        "append",
+        "tuple",
+        "list",
+        "dict",
+        "set",
+        "frozenset",
+        "range",
+        "enumerate",
+        "sorted",
+    }
+)
+
+
+# ======================================================================
+# shared helpers
+# ======================================================================
+def _rightmost(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _diag(code: str, message: str, subject: str, path: str, node: ast.AST) -> Diagnostic:
+    return Diagnostic(
+        code,
+        rule_severity(code),
+        message,
+        subject=subject,
+        file=path,
+        line=getattr(node, "lineno", None),
+        column=getattr(node, "col_offset", -1) + 1 if hasattr(node, "col_offset") else None,
+    )
+
+
+# ======================================================================
+# UNI: unit propagation
+# ======================================================================
+def _signature_for(site: CallSite, graph: CallGraph) -> Optional[UnitSig]:
+    """Registry or heuristic signature for a call site's target."""
+    if site.callee is not None:
+        for suffix, sig in SIGNATURES.items():
+            if site.callee == suffix or site.callee.endswith("." + suffix):
+                return sig
+    if site.recv_type is not None:
+        sig = METHOD_SIGNATURES.get((site.recv_type, site.method))
+        if sig is not None:
+            return sig
+    # bare-name calls to seeded functions (imported under their own name)
+    for suffix, sig in SIGNATURES.items():
+        if suffix.endswith("." + site.func_repr):
+            return sig
+    # project functions: derive param units from parameter names
+    if site.callee is not None and site.callee in graph.functions:
+        info = graph.functions[site.callee]
+        params: dict[object, str] = {}
+        for i, p in enumerate(info.params):
+            u = unit_from_name(p)
+            if u is not None:
+                params[i] = u
+                params[p] = u
+        if params:
+            return UnitSig(params)
+    return None
+
+
+class _UnitEnv:
+    """Variable -> unit within one function body."""
+
+    def __init__(self, fn: FunctionInfo, sig: Optional[UnitSig]) -> None:
+        self.vars: dict[str, str] = {}
+        for i, p in enumerate(fn.params):
+            u = None
+            if sig is not None:
+                u = sig.params.get(i) or sig.params.get(p)
+            u = u or unit_from_name(p)
+            if u is not None:
+                self.vars[p] = u
+
+
+class _UnitChecker:
+    def __init__(self, graph: CallGraph, return_units: dict[str, str]) -> None:
+        self.graph = graph
+        self.return_units = return_units
+        self.diags: list[Diagnostic] = []
+        self._sites: dict[int, CallSite] = {}
+
+    # -- expression units ----------------------------------------------
+    def unit_of(self, expr: ast.expr, env: _UnitEnv) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return env.vars.get(expr.id) or unit_from_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return unit_from_name(expr.attr)
+        if isinstance(expr, ast.Subscript):
+            sl = expr.slice
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, str):
+                return unit_from_name(sl.value)
+            return self.unit_of(expr.value, env)
+        if isinstance(expr, ast.Constant):
+            return None  # dimensionless literal: compatible with anything
+        if isinstance(expr, ast.UnaryOp):
+            return self.unit_of(expr.operand, env)
+        if isinstance(expr, ast.IfExp):
+            a = self.unit_of(expr.body, env)
+            b = self.unit_of(expr.orelse, env)
+            return a if a == b else None
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.Add, ast.Sub)):
+            a = self.unit_of(expr.left, env)
+            b = self.unit_of(expr.right, env)
+            if a is not None and b is not None:
+                return a if a == b else None
+            return a or b
+        if isinstance(expr, ast.Call):
+            site = self._sites.get(id(expr))
+            if site is not None:
+                sig = _signature_for(site, self.graph)
+                if sig is not None and sig.returns is not None:
+                    return sig.returns
+                if site.callee is not None and site.callee in self.return_units:
+                    return self.return_units[site.callee]
+            name = _rightmost(expr.func)
+            if name in _IDENTITY_CALLS and expr.args:
+                return self.unit_of(expr.args[0], env)
+            return None
+        return None
+
+    # -- checks ---------------------------------------------------------
+    def check_function(self, fn: FunctionInfo) -> None:
+        sig = None
+        for suffix, s in SIGNATURES.items():
+            if fn.qualname.endswith(suffix):
+                sig = s
+                break
+        env = _UnitEnv(fn, sig)
+        self._sites = {id(s.node): s for s in self.graph.calls_from(fn.qualname)}
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for stmt in ast.walk(fn.node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+                stmt.targets[0], ast.Name
+            ):
+                u = self.unit_of(stmt.value, env)
+                target = stmt.targets[0].id
+                if u is not None:
+                    declared = unit_from_name(target)
+                    if declared is not None and declared != u:
+                        self.diags.append(
+                            _diag(
+                                _mismatch_code(declared, u),
+                                f"'{target}' declares {declared} but is assigned"
+                                f" a {u} value",
+                                fn.qualname,
+                                fn.path,
+                                stmt,
+                            )
+                        )
+                    env.vars[target] = u
+                else:
+                    declared = unit_from_name(target)
+                    if declared is not None:
+                        env.vars[target] = declared
+            elif isinstance(stmt, ast.BinOp) and isinstance(stmt.op, (ast.Add, ast.Sub)):
+                self._check_pair(stmt.left, stmt.right, env, fn, stmt, "arithmetic")
+            elif isinstance(stmt, ast.Compare) and len(stmt.comparators) == 1:
+                self._check_pair(
+                    stmt.left, stmt.comparators[0], env, fn, stmt, "comparison"
+                )
+            elif isinstance(stmt, ast.Call):
+                self._check_call(stmt, env, fn)
+
+    def _check_pair(
+        self,
+        left: ast.expr,
+        right: ast.expr,
+        env: _UnitEnv,
+        fn: FunctionInfo,
+        node: ast.AST,
+        kind: str,
+    ) -> None:
+        a = self.unit_of(left, env)
+        b = self.unit_of(right, env)
+        if a is not None and b is not None and a != b:
+            self.diags.append(
+                _diag(
+                    _mismatch_code(a, b),
+                    f"{kind} mixes {a} and {b}",
+                    fn.qualname,
+                    fn.path,
+                    node,
+                )
+            )
+
+    def _check_call(self, call: ast.Call, env: _UnitEnv, fn: FunctionInfo) -> None:
+        site = self._sites.get(id(call))
+        if site is None:
+            return
+        sig = _signature_for(site, self.graph)
+        if sig is None or not sig.params:
+            return
+        pairs: list[tuple[object, ast.expr]] = list(enumerate(call.args))
+        pairs += [(kw.arg, kw.value) for kw in call.keywords if kw.arg is not None]
+        for key, arg in pairs:
+            expected = sig.params.get(key)
+            if expected is None:
+                continue
+            actual = self.unit_of(arg, env)
+            if actual is None or actual == expected:
+                continue
+            if {actual, expected} == {Unit.DB, Unit.LINEAR}:
+                code = "UNI002"
+            else:
+                code = _mismatch_code(actual, expected)
+            self.diags.append(
+                _diag(
+                    code,
+                    f"{site.func_repr}() expects {expected} for"
+                    f" {key!r}, got a {actual} value",
+                    fn.qualname,
+                    fn.path,
+                    arg,
+                )
+            )
+
+
+def compute_return_units(graph: CallGraph, rounds: int = 3) -> dict[str, str]:
+    """Fixpoint return-unit summaries for project functions."""
+    out: dict[str, str] = {}
+    for _ in range(rounds):
+        changed = False
+        checker = _UnitChecker(graph, out)
+        for fn in graph.functions.values():
+            sig = None
+            for suffix, s in SIGNATURES.items():
+                if fn.qualname.endswith(suffix):
+                    sig = s
+                    break
+            if sig is not None and sig.returns is not None:
+                if out.get(fn.qualname) != sig.returns:
+                    out[fn.qualname] = sig.returns
+                    changed = True
+                continue
+            env = _UnitEnv(fn, sig)
+            checker._sites = {id(s.node): s for s in graph.calls_from(fn.qualname)}
+            units: set[Optional[str]] = set()
+            assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for stmt in ast.walk(fn.node):
+                # seed env from simple assignments first (walk order is
+                # document order for a function body)
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+                    stmt.targets[0], ast.Name
+                ):
+                    u = checker.unit_of(stmt.value, env) or unit_from_name(
+                        stmt.targets[0].id
+                    )
+                    if u is not None:
+                        env.vars[stmt.targets[0].id] = u
+                elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                    units.add(checker.unit_of(stmt.value, env))
+            if len(units) == 1:
+                (u,) = units
+                if u is not None and out.get(fn.qualname) != u:
+                    out[fn.qualname] = u
+                    changed = True
+        if not changed:
+            break
+    return out
+
+
+# ----------------------------------------------------------------------
+# UNI: SNMP gauge / probe scale checking
+# ----------------------------------------------------------------------
+def _constant_factor(expr: ast.expr, base_unit_of) -> Optional[tuple[Optional[str], float]]:
+    """Decompose ``expr`` as (unit-of-source, multiplicative factor).
+
+    Handles ``x``, ``x * k``, ``k * x``, ``x / k`` and nests through
+    ``int()`` / ``_numeric()`` style single-argument wrappers.
+    """
+    if isinstance(expr, ast.Call) and len(expr.args) >= 1:
+        return _constant_factor(expr.args[0], base_unit_of)
+    if isinstance(expr, ast.BinOp):
+        if isinstance(expr.op, ast.Mult):
+            for a, b in ((expr.left, expr.right), (expr.right, expr.left)):
+                if isinstance(b, ast.Constant) and isinstance(b.value, (int, float)):
+                    inner = _constant_factor(a, base_unit_of)
+                    if inner is not None:
+                        return inner[0], inner[1] * float(b.value)
+        elif isinstance(expr.op, ast.Div):
+            if isinstance(expr.right, ast.Constant) and isinstance(
+                expr.right.value, (int, float)
+            ) and expr.right.value != 0:
+                inner = _constant_factor(expr.left, base_unit_of)
+                if inner is not None:
+                    return inner[0], inner[1] / float(expr.right.value)
+        return None
+    return base_unit_of(expr), 1.0
+
+
+def _gauge_name(expr: ast.expr) -> Optional[str]:
+    """Rightmost known MIB object name in an OID expression."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr in GAUGE_UNITS:
+            return node.attr
+        if isinstance(node, ast.Name) and node.id in GAUGE_UNITS:
+            return node.id
+    return None
+
+
+def _check_scale(
+    from_unit: str,
+    to_unit: str,
+    factor: float,
+    subject: str,
+    path: str,
+    node: ast.AST,
+    what: str,
+) -> Optional[Diagnostic]:
+    if from_unit == to_unit and factor == 1.0:
+        return None
+    if dimension_of(from_unit) != dimension_of(to_unit):
+        return _diag(
+            _mismatch_code(from_unit, to_unit),
+            f"{what}: {from_unit} value delivered as {to_unit}",
+            subject,
+            path,
+            node,
+        )
+    sf, st = UNIT_SCALES.get(from_unit), UNIT_SCALES.get(to_unit)
+    if sf is None or st is None:
+        return None  # e.g. packets: no constant conversion exists
+    expected = sf / st
+    if abs(factor - expected) <= 1e-9 * max(1.0, expected):
+        return None
+    return _diag(
+        _mismatch_code(from_unit, to_unit),
+        f"{what}: converting {from_unit} to {to_unit} needs a factor of"
+        f" {expected:g}, found {factor:g}",
+        subject,
+        path,
+        node,
+    )
+
+
+class _GaugeChecker:
+    """Probe registrations and MIB gauge bindings with wrong scales."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.diags: list[Diagnostic] = []
+
+    def run(self) -> list[Diagnostic]:
+        for site in self.graph.calls:
+            call = site.node
+            name = site.method
+            if name == "Probe":
+                self._check_probe(call, site)
+            elif name == "register_callable" and len(call.args) >= 2:
+                self._check_binding(call, site)
+        self._check_tables()
+        return self.diags
+
+    def _resolve_local(self, expr: ast.expr, site: CallSite) -> ast.expr:
+        """Chase a Name to a parameter default or local lambda/constant."""
+        if not isinstance(expr, ast.Name):
+            return expr
+        fn = self.graph.functions.get(site.caller)
+        if fn is None:
+            return expr
+        node = fn.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = node.args
+        if args.defaults:
+            for a, d in zip(args.args[-len(args.defaults) :], args.defaults):
+                if a.arg == expr.id:
+                    return d
+        for a, d in zip(args.kwonlyargs, args.kw_defaults):
+            if d is not None and a.arg == expr.id:
+                return d
+        binding = _local_bindings(node).get(expr.id)
+        return binding if binding is not None else expr
+
+    def _check_probe(self, call: ast.Call, site: CallSite) -> None:
+        args: dict[str, Optional[ast.expr]] = {
+            "oid": call.args[1] if len(call.args) > 1 else None,
+            "parameter": call.args[2] if len(call.args) > 2 else None,
+            "transform": call.args[3] if len(call.args) > 3 else None,
+        }
+        for kw in call.keywords:
+            if kw.arg in args:
+                args[kw.arg] = kw.value
+        oid, parameter, transform = args["oid"], args["parameter"], args["transform"]
+        if oid is None or parameter is None:
+            return
+        gauge = _gauge_name(oid)
+        if gauge is None:
+            return
+        parameter = self._resolve_local(parameter, site)
+        if not (isinstance(parameter, ast.Constant) and isinstance(parameter.value, str)):
+            return
+        to_unit = unit_from_name(parameter.value)
+        if to_unit is None:
+            return
+        if transform is not None:
+            transform = self._resolve_local(transform, site)
+        factor = self._transform_factor(transform)
+        if factor is None:
+            return  # opaque transform: trust it
+        d = _check_scale(
+            GAUGE_UNITS[gauge],
+            to_unit,
+            factor,
+            f"{gauge} -> {parameter.value}",
+            site.path,
+            call,
+            "SNMP probe scaling",
+        )
+        if d is not None:
+            self.diags.append(d)
+
+    def _check_tables(self) -> None:
+        """Registration-table tuples: ``(TASSL.linkBandwidth, "bandwidth_bps",
+        transform)`` rows iterated before the ``Probe(...)`` constructor sees
+        only loop variables, so match the table literal itself."""
+        for fn in self.graph.functions.values():
+            node = fn.node
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            lambdas = _local_bindings(node)
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Tuple) and 2 <= len(sub.elts) <= 4:
+                    self._check_table_row(sub, fn.path, lambdas)
+
+    def _check_table_row(
+        self, row: ast.Tuple, path: str, lambdas: dict[str, ast.expr]
+    ) -> None:
+        gauge: Optional[str] = None
+        param: Optional[str] = None
+        transform: Optional[ast.expr] = None
+        for elt in row.elts:
+            if gauge is None and isinstance(elt, (ast.Attribute, ast.Call)):
+                g = _gauge_name(elt)
+                if g is not None:
+                    gauge = g
+                    continue
+            if param is None and isinstance(elt, ast.Constant) and isinstance(
+                elt.value, str
+            ):
+                param = elt.value
+                continue
+            if transform is None and isinstance(elt, (ast.Lambda, ast.Name)):
+                transform = elt
+        if gauge is None or param is None:
+            return
+        to_unit = unit_from_name(param)
+        if to_unit is None:
+            return
+        if isinstance(transform, ast.Name) and transform.id in lambdas:
+            transform = lambdas[transform.id]
+        factor = self._transform_factor(transform)
+        if factor is None:
+            return
+        d = _check_scale(
+            GAUGE_UNITS[gauge],
+            to_unit,
+            factor,
+            f"{gauge} -> {param}",
+            path,
+            row,
+            "SNMP probe scaling",
+        )
+        if d is not None:
+            self.diags.append(d)
+
+    def _transform_factor(self, transform: Optional[ast.expr]) -> Optional[float]:
+        """Multiplicative factor a probe transform applies, if derivable."""
+        if transform is None or (
+            isinstance(transform, ast.Name) and transform.id in ("_numeric",)
+        ):
+            return 1.0
+        if isinstance(transform, ast.Lambda):
+            decomposed = _constant_factor(transform.body, lambda e: None)
+            if decomposed is not None:
+                return decomposed[1]
+        return None
+
+    def _check_binding(self, call: ast.Call, site: CallSite) -> None:
+        """``register_callable(TASSL.linkLatencyUs, lambda: Gauge32(x * k))``."""
+        gauge = _gauge_name(call.args[0])
+        if gauge is None:
+            return
+        getter = call.args[1]
+        if not isinstance(getter, ast.Lambda):
+            return
+        decomposed = _constant_factor(
+            getter.body,
+            lambda e: _GAUGE_ATTR_UNITS.get(_rightmost(e) or "")
+            if isinstance(e, (ast.Attribute, ast.Name))
+            else None,
+        )
+        if decomposed is None or decomposed[0] is None:
+            return
+        from_unit, factor = decomposed
+        d = _check_scale(
+            from_unit,
+            GAUGE_UNITS[gauge],
+            factor,
+            f"{gauge} binding",
+            site.path,
+            call,
+            "MIB gauge scaling",
+        )
+        if d is not None:
+            self.diags.append(d)
+
+
+def _local_bindings(fn: ast.AST) -> dict[str, ast.expr]:
+    """``name = <lambda or constant>`` bindings inside a function body."""
+    out: dict[str, ast.expr] = {}
+    for stmt in ast.walk(fn):
+        target: Optional[str] = None
+        value: Optional[ast.expr] = None
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            target, value = stmt.targets[0].id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            target, value = stmt.target.id, stmt.value
+        if target is not None and isinstance(value, (ast.Lambda, ast.Constant)):
+            out.setdefault(target, value)
+    return out
+
+
+# ======================================================================
+# EXC: exception flow
+# ======================================================================
+def _exception_ancestors(graph: CallGraph, name: str) -> set[str]:
+    out = set(graph.ancestors(name))
+    frontier = [name] + list(out)
+    while frontier:
+        n = frontier.pop()
+        for base in _BUILTIN_BASES.get(n, ()):
+            if base not in out:
+                out.add(base)
+                frontier.append(base)
+    return out
+
+
+def _handler_catches(graph: CallGraph, handler_types: set[str], exc: str) -> bool:
+    if not handler_types:  # bare except
+        return True
+    if exc in handler_types:
+        return True
+    return bool(handler_types & _exception_ancestors(graph, exc))
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> set[str]:
+    t = handler.type
+    if t is None:
+        return set()
+    names: set[str] = set()
+    for node in [t] if not isinstance(t, ast.Tuple) else list(t.elts):
+        n = _rightmost(node)
+        if n:
+            names.add(n)
+    return names
+
+
+class _EscapeAnalyzer:
+    """Which exception type names can escape each function."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.summaries: dict[str, frozenset[str]] = {}
+        self._site_index: dict[str, dict[int, CallSite]] = {}
+
+    def compute(self, rounds: int = 6) -> dict[str, frozenset[str]]:
+        for q in self.graph.functions:
+            self.summaries[q] = frozenset()
+        for _ in range(rounds):
+            changed = False
+            for q, fn in self.graph.functions.items():
+                assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                esc = frozenset(self._escapes(fn.node.body, q, caught_stack=()))
+                if esc != self.summaries[q]:
+                    self.summaries[q] = esc
+                    changed = True
+            if not changed:
+                break
+        return self.summaries
+
+    def _escapes(
+        self, stmts: list[ast.stmt], caller: str, caught_stack: tuple[set[str], ...]
+    ) -> set[str]:
+        out: set[str] = set()
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested defs run when called, not inline
+            out |= self._stmt_escapes(stmt, caller, caught_stack)
+        return out
+
+    def _stmt_escapes(
+        self, stmt: ast.stmt, caller: str, caught_stack: tuple[set[str], ...]
+    ) -> set[str]:
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is None:
+                # bare re-raise: whatever the innermost handler caught
+                return set(caught_stack[-1]) if caught_stack else set()
+            name = _rightmost(
+                stmt.exc.func if isinstance(stmt.exc, ast.Call) else stmt.exc
+            )
+            return {name} if name else set()
+        if isinstance(stmt, ast.Try):
+            body = self._escapes(stmt.body, caller, caught_stack)
+            handler_escapes: set[str] = set()
+            for handler in stmt.handlers:
+                types = _handler_type_names(handler)
+                caught = {e for e in body if _handler_catches(self.graph, types, e)}
+                body -= caught
+                handler_escapes |= self._escapes(
+                    handler.body, caller, caught_stack + (types or caught or {"Exception"},)
+                )
+            out = body | handler_escapes
+            out |= self._escapes(stmt.orelse, caller, caught_stack)
+            out |= self._escapes(stmt.finalbody, caller, caught_stack)
+            return out
+        # compound statements: nested statement lists recurse (so inner
+        # try/except filtering applies); only this statement's OWN
+        # expressions contribute call-summary escapes directly
+        out: set[str] = set()
+        for _field, value in ast.iter_fields(stmt):
+            if isinstance(value, list):
+                nested = [s for s in value if isinstance(s, ast.stmt)]
+                if nested:
+                    out |= self._escapes(nested, caller, caught_stack)
+                for v in value:
+                    if isinstance(v, ast.AST) and not isinstance(v, ast.stmt):
+                        out |= self._calls_in(v, caller)
+            elif isinstance(value, ast.AST):
+                out |= self._calls_in(value, caller)
+        return out
+
+    def _calls_in(self, node: ast.AST, caller: str) -> set[str]:
+        """Escape sets of resolved calls in one expression subtree
+        (deferred bodies — lambdas, nested defs — excluded)."""
+        out: set[str] = set()
+        sites = self._sites_by_caller(caller)
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(n, ast.Call):
+                site = sites.get(id(n))
+                if site is not None and site.callee in self.summaries:
+                    out |= set(self.summaries[site.callee])
+            stack.extend(ast.iter_child_nodes(n))
+        return out
+
+    def _sites_by_caller(self, caller: str) -> dict[int, CallSite]:
+        cached = self._site_index.get(caller)
+        if cached is None:
+            cached = {id(s.node): s for s in self.graph.calls_from(caller)}
+            self._site_index[caller] = cached
+        return cached
+
+
+def compute_escaping_exceptions(graph: CallGraph) -> dict[str, frozenset[str]]:
+    """Escaping exception-type summaries for every function in the graph."""
+    return _EscapeAnalyzer(graph).compute()
+
+
+def _resolve_callback_ref(
+    expr: ast.expr, fn: FunctionInfo, graph: CallGraph
+) -> Optional[str]:
+    """Qualname of a function referenced (not called) by ``expr``."""
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        if expr.value.id == "self" and fn.cls is not None:
+            return graph.method_qualname(fn.cls, expr.attr)
+    if isinstance(expr, ast.Name):
+        q = f"{fn.module}.{expr.id}"
+        if q in graph.functions:
+            return q
+    return None
+
+
+class _ExceptionChecker:
+    def __init__(self, graph: CallGraph, escapes: dict[str, frozenset[str]]) -> None:
+        self.graph = graph
+        self.escapes = escapes
+        self.diags: list[Diagnostic] = []
+
+    def run(self) -> list[Diagnostic]:
+        wire_closure = self._wire_closure()
+        for fn in self.graph.functions.values():
+            assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            for node in ast.walk(fn.node):
+                # delivery-callback registrations: `x.on_receive = cb`
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Attribute)
+                    and node.targets[0].attr in _DELIVERY_CALLBACK_KWARGS
+                ):
+                    self._check_delivery(node.value, fn, node, wire_closure)
+                elif isinstance(node, ast.Call):
+                    for kw in node.keywords:
+                        if kw.arg in _DELIVERY_CALLBACK_KWARGS:
+                            self._check_delivery(kw.value, fn, node, wire_closure)
+                    name = _rightmost(node.func)
+                    pos = _DELIVERY_CALLBACK_POSITIONS.get(name or "")
+                    if pos is not None and len(node.args) > pos:
+                        self._check_delivery(node.args[pos], fn, node, wire_closure)
+                    if name in ("call_after", "call_at") and len(node.args) >= 2:
+                        self._check_scheduled(node.args[1], fn, node)
+                elif isinstance(node, ast.ExceptHandler):
+                    self._check_swallow(node, fn, wire_closure)
+        return self.diags
+
+    def _wire_closure(self) -> frozenset[str]:
+        """Wire errors plus every project subclass of one."""
+        out = set(WIRE_ERROR_TYPES)
+        for cls in self.graph.class_bases:
+            if _exception_ancestors(self.graph, cls) & WIRE_ERROR_TYPES:
+                out.add(cls)
+        return frozenset(out)
+
+    def _check_delivery(
+        self,
+        ref: ast.expr,
+        fn: FunctionInfo,
+        node: ast.AST,
+        wire_closure: frozenset[str],
+    ) -> None:
+        target = _resolve_callback_ref(ref, fn, self.graph)
+        if target is None:
+            return
+        leaking = sorted(set(self.escapes.get(target, frozenset())) & wire_closure)
+        if leaking:
+            self.diags.append(
+                _diag(
+                    "EXC001",
+                    f"delivery callback {target.rsplit('.', 1)[-1]}() can leak"
+                    f" {', '.join(leaking)} across the dispatch boundary"
+                    " (malformed input kills the event loop)",
+                    target,
+                    fn.path,
+                    node,
+                )
+            )
+
+    def _check_scheduled(self, ref: ast.expr, fn: FunctionInfo, node: ast.AST) -> None:
+        target = _resolve_callback_ref(ref, fn, self.graph)
+        if target is None:
+            return
+        leaking = sorted(self.escapes.get(target, frozenset()) - {"KeyboardInterrupt"})
+        if leaking:
+            self.diags.append(
+                _diag(
+                    "EXC002",
+                    f"scheduler callback {target.rsplit('.', 1)[-1]}() can raise"
+                    f" {', '.join(leaking)}, aborting the event loop mid-run",
+                    target,
+                    fn.path,
+                    node,
+                )
+            )
+
+    def _check_swallow(
+        self, handler: ast.ExceptHandler, fn: FunctionInfo, wire_closure: frozenset[str]
+    ) -> None:
+        path = fn.path.replace("\\", "/")
+        if not any(frag in path for frag in _DISPATCH_FILE_FRAGMENTS):
+            return
+        if not all(
+            isinstance(s, (ast.Pass, ast.Continue, ast.Break))
+            or (isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant))
+            for s in handler.body
+        ):
+            return
+        types = _handler_type_names(handler)
+        broad = not types or types & {"Exception", "BaseException"}
+        wire = bool(types & wire_closure)
+        if broad or wire:
+            what = "every exception" if broad else ", ".join(sorted(types & wire_closure))
+            self.diags.append(
+                _diag(
+                    "EXC003",
+                    f"handler silently swallows {what} on a dispatch path;"
+                    " count it or emit a DiagnosticWarning",
+                    fn.qualname,
+                    fn.path,
+                    handler,
+                )
+            )
+
+
+# ======================================================================
+# RES: resource lifecycle
+# ======================================================================
+_OPEN, _CLOSED, _MAYBE = "open", "closed", "maybe-closed"
+
+
+@dataclass
+class _Tracked:
+    var: str
+    rtype: str
+    node: ast.AST
+    escaped: bool = False
+    ever_closed: bool = False
+    close_node: Optional[ast.AST] = None
+
+
+class _ResourceChecker:
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.diags: list[Diagnostic] = []
+
+    def run(self) -> list[Diagnostic]:
+        for fn in self.graph.functions.values():
+            self._check_function(fn)
+        return self.diags
+
+    def _check_function(self, fn: FunctionInfo) -> None:
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        tracked: dict[str, _Tracked] = {}
+        self._collect(fn, tracked)
+        if not tracked:
+            return
+        state: dict[str, str] = {}
+        self._walk(fn.node.body, state, tracked, fn, in_finally=False)
+        self._leak_checks(fn, tracked, state)
+
+    # -- discovery ------------------------------------------------------
+    def _collect(self, fn: FunctionInfo, tracked: dict[str, _Tracked]) -> None:
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                rtype = self._resource_type_of(node.value)
+                if rtype is not None:
+                    var = node.targets[0].id
+                    tracked.setdefault(var, _Tracked(var, rtype, node))
+        if not tracked:
+            return
+        # escape analysis: returned, yielded, stored, passed, closed over
+        names = set(tracked)
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                v = getattr(node, "value", None)
+                for sub in ast.walk(v) if v is not None else ():
+                    if isinstance(sub, ast.Name) and sub.id in names:
+                        tracked[sub.id].escaped = True
+            elif isinstance(node, ast.Assign):
+                if any(not isinstance(t, ast.Name) for t in node.targets):
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name) and sub.id in names:
+                            tracked[sub.id].escaped = True
+            elif isinstance(node, ast.Call):
+                # passed as an argument (ownership transfer), but a plain
+                # method call on the resource itself is not an escape
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Name) and sub.id in names:
+                            tracked[sub.id].escaped = True
+            elif isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not fn.node:
+                    for sub in ast.walk(node):
+                        if isinstance(sub, ast.Name) and sub.id in names:
+                            tracked[sub.id].escaped = True
+
+    def _resource_type_of(self, call: ast.Call) -> Optional[str]:
+        name = _rightmost(call.func)
+        if name in RESOURCE_TYPES:
+            return name
+        return None
+
+    # -- path walk ------------------------------------------------------
+    def _walk(
+        self,
+        stmts: list[ast.stmt],
+        state: dict[str, str],
+        tracked: dict[str, _Tracked],
+        fn: FunctionInfo,
+        in_finally: bool,
+    ) -> bool:
+        """Interpret ``stmts``; returns True when the path terminates."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+                self._scan_expr(stmt, state, tracked, fn)
+                return True
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+                stmt.targets[0], ast.Name
+            ):
+                var = stmt.targets[0].id
+                self._scan_expr(stmt.value, state, tracked, fn)
+                if var in tracked:
+                    if isinstance(stmt.value, ast.Call) and self._resource_type_of(
+                        stmt.value
+                    ):
+                        state[var] = _OPEN
+                    else:
+                        state.pop(var, None)  # re-bound to something else
+                continue
+            if isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, state, tracked, fn)
+                s1, s2 = dict(state), dict(state)
+                t1 = self._walk(stmt.body, s1, tracked, fn, in_finally)
+                t2 = self._walk(stmt.orelse, s2, tracked, fn, in_finally)
+                if t1 and t2:
+                    return True
+                if t1:
+                    state.clear(); state.update(s2)
+                elif t2:
+                    state.clear(); state.update(s1)
+                else:
+                    self._merge(state, s1, s2)
+                continue
+            if isinstance(stmt, (ast.For, ast.While)):
+                body_state = dict(state)
+                self._walk(stmt.body, body_state, tracked, fn, in_finally)
+                self._merge(state, dict(state), body_state)
+                self._walk(stmt.orelse, state, tracked, fn, in_finally)
+                continue
+            if isinstance(stmt, ast.Try):
+                body_state = dict(state)
+                t_body = self._walk(stmt.body, body_state, tracked, fn, in_finally)
+                merged = dict(state)
+                self._merge(merged, dict(state), body_state)
+                for handler in stmt.handlers:
+                    h_state = dict(merged)
+                    self._walk(handler.body, h_state, tracked, fn, in_finally)
+                    self._merge(merged, merged, h_state)
+                if not t_body:
+                    self._walk(stmt.orelse, body_state, tracked, fn, in_finally)
+                    self._merge(merged, merged, body_state)
+                t_fin = self._walk(stmt.finalbody, merged, tracked, fn, in_finally=True)
+                state.clear(); state.update(merged)
+                if t_fin:
+                    return True
+                continue
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, state, tracked, fn)
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and item.optional_vars is not None
+                        and isinstance(item.optional_vars, ast.Name)
+                        and item.optional_vars.id in tracked
+                    ):
+                        state[item.optional_vars.id] = _OPEN
+                term = self._walk(stmt.body, state, tracked, fn, in_finally)
+                for item in stmt.items:
+                    if isinstance(item.optional_vars, ast.Name) and (
+                        item.optional_vars.id in tracked
+                    ):
+                        # context manager closes on exit
+                        tracked[item.optional_vars.id].ever_closed = True
+                        tracked[item.optional_vars.id].close_node = stmt
+                        state[item.optional_vars.id] = _CLOSED
+                if term:
+                    return True
+                continue
+            # plain statement: scan for close()/use() calls
+            self._scan_expr(stmt, state, tracked, fn)
+        return False
+
+    def _merge(
+        self, into: dict[str, str], s1: dict[str, str], s2: dict[str, str]
+    ) -> None:
+        into.clear()
+        for var in set(s1) | set(s2):
+            a, b = s1.get(var), s2.get(var)
+            if a == b and a is not None:
+                into[var] = a
+            elif a is not None or b is not None:
+                into[var] = _MAYBE
+
+    def _scan_expr(
+        self,
+        node: ast.AST,
+        state: dict[str, str],
+        tracked: dict[str, _Tracked],
+        fn: FunctionInfo,
+    ) -> None:
+        for sub in ast.walk(node):
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id in tracked
+            ):
+                continue
+            var = sub.func.value.id
+            info = tracked[var]
+            rtype = RESOURCE_TYPES[info.rtype]
+            method = sub.func.attr
+            current = state.get(var)
+            if method in rtype.close_methods:
+                if current == _CLOSED:
+                    self.diags.append(
+                        _diag(
+                            "RES002",
+                            f"double close: {var}.{method}() on an already-closed"
+                            f" {info.rtype}",
+                            fn.qualname,
+                            fn.path,
+                            sub,
+                        )
+                    )
+                state[var] = _CLOSED
+                info.ever_closed = True
+                if info.close_node is None:
+                    info.close_node = sub
+            elif method in rtype.use_methods:
+                if current == _CLOSED:
+                    self.diags.append(
+                        _diag(
+                            "RES003",
+                            f"use after close: {var}.{method}() after"
+                            f" {info.rtype} was closed on this path",
+                            fn.qualname,
+                            fn.path,
+                            sub,
+                        )
+                    )
+
+    # -- leak checks ----------------------------------------------------
+    def _leak_checks(
+        self, fn: FunctionInfo, tracked: dict[str, _Tracked], state: dict[str, str]
+    ) -> None:
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        parents = _parent_map(fn.node)
+        for info in tracked.values():
+            if info.escaped:
+                continue
+            if not info.ever_closed:
+                self.diags.append(
+                    _diag(
+                        "RES001",
+                        f"{info.rtype} '{info.var}' is never closed in"
+                        f" {fn.name}() and does not escape",
+                        fn.qualname,
+                        fn.path,
+                        info.node,
+                    )
+                )
+                continue
+            if state.get(info.var) == _MAYBE:
+                self.diags.append(
+                    _diag(
+                        "RES001",
+                        f"{info.rtype} '{info.var}' is closed on some paths"
+                        f" but not all in {fn.name}()",
+                        fn.qualname,
+                        fn.path,
+                        info.node,
+                    )
+                )
+                continue
+            if info.close_node is not None and not self._exception_safe(
+                info, parents
+            ) and self._hazard_between(fn, info):
+                self.diags.append(
+                    _diag(
+                        "RES001",
+                        f"{info.rtype} '{info.var}' leaks if a call between"
+                        f" acquisition and close raises; close it in a"
+                        " finally block or use a context manager",
+                        fn.qualname,
+                        fn.path,
+                        info.node,
+                    )
+                )
+
+    def _exception_safe(self, info: _Tracked, parents: dict[ast.AST, ast.AST]) -> bool:
+        """Close sits in a ``finally`` block or ``with`` handles it."""
+        node = info.close_node
+        if isinstance(node, ast.With):
+            return True
+        while node is not None:
+            parent = parents.get(node)
+            if isinstance(parent, ast.Try) and any(
+                n is node or _contains(n, node) for n in parent.finalbody
+            ):
+                return True
+            node = parent
+        return False
+
+    def _hazard_between(self, fn: FunctionInfo, info: _Tracked) -> bool:
+        """A possibly-raising call between acquisition and release."""
+        start = getattr(info.node, "lineno", 0)
+        end = getattr(info.close_node, "lineno", 1 << 30)
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            line = getattr(node, "lineno", 0)
+            if not (start < line < end):
+                continue
+            name = _rightmost(node.func)
+            if name in _SAFE_CALLS:
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == info.var
+                and name in RESOURCE_TYPES[info.rtype].close_methods
+            ):
+                continue
+            return True
+        return False
+
+
+def _parent_map(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    out: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            out[child] = node
+    return out
+
+
+def _contains(root: ast.AST, target: ast.AST) -> bool:
+    return any(n is target for n in ast.walk(root))
+
+
+# ======================================================================
+# entry points
+# ======================================================================
+def dataflow_diagnostics(
+    graph: CallGraph, *, ignore: Iterable[str] = ()
+) -> list[Diagnostic]:
+    """All UNI/EXC/RES findings over an already-built call graph."""
+    diags: list[Diagnostic] = []
+
+    return_units = compute_return_units(graph)
+    unit_checker = _UnitChecker(graph, return_units)
+    for fn in graph.functions.values():
+        unit_checker.check_function(fn)
+    diags.extend(unit_checker.diags)
+    diags.extend(_GaugeChecker(graph).run())
+
+    escapes = compute_escaping_exceptions(graph)
+    diags.extend(_ExceptionChecker(graph, escapes).run())
+
+    diags.extend(_ResourceChecker(graph).run())
+
+    # per-file inline suppressions + global ignores
+    suppressions = {
+        path: parse_suppressions(source) for path, source in graph.sources.items()
+    }
+    out: list[Diagnostic] = []
+    for d in diags:
+        sup = suppressions.get(d.file or "")
+        out.extend(filter_diagnostics([d], ignore=ignore, suppressions=sup))
+    return out
+
+
+def analyze_dataflow(paths: Iterable[str], *, ignore: Iterable[str] = ()) -> list[Diagnostic]:
+    """Build the call graph over ``paths`` and run every dataflow pass."""
+    graph = build_call_graph(paths)
+    return dataflow_diagnostics(graph, ignore=ignore)

@@ -89,6 +89,20 @@ RULES: dict[str, tuple[Severity, str]] = {
     "LNT001": (Severity.ERROR, "bare `except:` in a dispatch path"),
     "LNT002": (Severity.ERROR, "mutable default argument"),
     "LNT003": (Severity.ERROR, "transport constructed directly instead of injected"),
+    # -- dataflow: units ---------------------------------------------------
+    "UNI001": (Severity.WARNING, "arithmetic or assignment mixes incompatible physical units"),
+    "UNI002": (Severity.WARNING, "dB value passed where linear ratio expected (or vice versa)"),
+    "UNI003": (Severity.WARNING, "rate-unit mismatch (bit/s vs kbit/s vs byte/s) without conversion"),
+    "UNI004": (Severity.WARNING, "time-unit mismatch (s vs ms vs µs) without conversion"),
+    "UNI005": (Severity.WARNING, "data-unit mismatch (bytes vs bits vs packets) without conversion"),
+    # -- dataflow: exception flow -----------------------------------------
+    "EXC001": (Severity.WARNING, "codec/wire error can escape a delivery callback across a dispatch boundary"),
+    "EXC002": (Severity.WARNING, "scheduler callback can raise, aborting the event loop mid-run"),
+    "EXC003": (Severity.WARNING, "handler silently swallows failures on a dispatch path"),
+    # -- dataflow: resource lifecycle -------------------------------------
+    "RES001": (Severity.WARNING, "socket/transport leaks: never closed, or not closed on every path"),
+    "RES002": (Severity.WARNING, "double close of a socket/transport on one path"),
+    "RES003": (Severity.ERROR, "socket/transport used after close on one path"),
 }
 
 

@@ -2,9 +2,10 @@
 
 :func:`run_analysis` is what both the CLI (``python -m repro.analysis``)
 and the tests drive: it lints the shipped default policy database, walks
-source trees applying the repo-lint rules and the selector extraction,
-optionally analyzes ad-hoc selector expressions, and folds everything
-into a single :class:`AnalysisReport`.
+source trees applying the repo-lint rules, the selector extraction, and
+the cross-layer dataflow passes (units, exception flow, resource
+lifecycle), optionally analyzes ad-hoc selector expressions, and folds
+everything into a single :class:`AnalysisReport`.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import json
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from .dataflow import analyze_dataflow
 from .diagnostics import Diagnostic, Severity, filter_diagnostics, max_severity
 from .policy_lint import lint_policy_database
 from .repo_lint import lint_paths
@@ -70,23 +72,35 @@ def run_analysis(
     *,
     selectors: Iterable[str] = (),
     include_defaults: bool = True,
+    include_dataflow: bool = True,
     ignore: Iterable[str] = (),
+    baseline: Optional[dict[str, int]] = None,
 ) -> AnalysisReport:
     """Run every requested pass and aggregate the findings.
 
-    ``paths`` are files/directories for the repo-lint + extraction pass;
-    ``selectors`` are ad-hoc selector expressions to analyze directly.
+    ``paths`` are files/directories for the repo-lint + extraction pass
+    and the dataflow passes; ``selectors`` are ad-hoc selector
+    expressions to analyze directly.  A ``baseline`` (see
+    :mod:`~repro.analysis.baseline`) drops known findings so only new
+    ones remain in the report.
     """
     ignore = tuple(ignore)
+    paths = tuple(paths)
     diags: list[Diagnostic] = []
     if include_defaults:
         diags.extend(analyze_defaults(ignore=ignore))
     if paths:
         diags.extend(lint_paths(paths, ignore=ignore))
+        if include_dataflow:
+            diags.extend(analyze_dataflow(paths, ignore=ignore))
     for expr in selectors:
         diags.extend(
             filter_diagnostics(selector_diagnostics(expr), ignore=ignore)
         )
+    if baseline:
+        from .baseline import apply_baseline
+
+        diags = apply_baseline(diags, baseline)
     diags.sort(key=lambda d: (d.file or "", d.line or 0, -int(d.severity), d.code))
     return AnalysisReport(tuple(diags))
 

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 rendering for GitHub code-scanning annotations.
+
+One run, one driver (``repro-analysis``), every rule from the stable
+registry with its default severity mapped onto SARIF levels
+(ERROR → ``error``, WARNING → ``warning``, INFO → ``note``).  Findings
+without a file location (e.g. ad-hoc ``--selector`` analyses) still get
+a result — GitHub renders them at the repository level.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .diagnostics import RULES, Diagnostic, Severity
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rules() -> list[dict[str, object]]:
+    out: list[dict[str, object]] = []
+    for code, (severity, description) in sorted(RULES.items()):
+        out.append(
+            {
+                "id": code,
+                "shortDescription": {"text": description},
+                "defaultConfiguration": {"level": _LEVELS[severity]},
+            }
+        )
+    return out
+
+
+def _result(diag: Diagnostic) -> dict[str, object]:
+    message = diag.message
+    if diag.subject:
+        message = f"{message} [{diag.subject}]"
+    result: dict[str, object] = {
+        "ruleId": diag.code,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": message},
+    }
+    if diag.file is not None:
+        region: dict[str, object] = {}
+        if diag.line is not None:
+            region["startLine"] = diag.line
+            if diag.column is not None and diag.column > 0:
+                region["startColumn"] = diag.column
+        location: dict[str, object] = {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": diag.file.replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+            }
+        }
+        if region:
+            location["physicalLocation"]["region"] = region  # type: ignore[index]
+        result["locations"] = [location]
+    return result
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    """The full SARIF log for one analysis run."""
+    log = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": _rules(),
+                    }
+                },
+                "results": [_result(d) for d in diagnostics],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

@@ -36,8 +36,8 @@ from ..media.describe import describe_image
 from ..media.sketch import extract_sketch
 from ..messaging.broker import Delivery
 from ..messaging.message import SemanticMessage
-from ..messaging.rtp import RtpPacketizer, RtpReassembler
-from ..messaging.serialization import decode_message, encode_message
+from ..messaging.rtp import RtpError, RtpPacketizer, RtpReassembler
+from ..messaging.serialization import WireError, decode_message, encode_message
 from ..messaging.transport import SemanticEndpoint
 from ..network.multicast import MulticastGroup
 from ..network.simnet import Network
@@ -157,13 +157,17 @@ class BaseStation:
         # wireless-side socket + RTP
         self._wsock = DatagramSocket(network, name)
         self._wsock.bind(WIRELESS_PORT)
-        self._wsock.on_receive = lambda data, src: self._wreassembler.ingest(data)
+        self._wsock.on_receive = self._on_wireless_datagram
         import zlib
 
         self._wpacketizer = RtpPacketizer(zlib.crc32(f"{name}:bs".encode()) & 0xFFFFFFFF)
         self._wreassembler = RtpReassembler(self._on_wireless_payload)
 
         self.attachments: dict[str, Attachment] = {}
+        #: undecodable uplink payloads dropped (codec guard, EXC001)
+        self.decode_failures = 0
+        #: events that could not be fragmented for forwarding (oversize)
+        self.forward_failures = 0
         #: when true, each QoS evaluation writes SIR-derived loss onto the
         #: client's radio link (see repro.wireless.linkquality)
         self.channel_coupling = False
@@ -360,10 +364,10 @@ class BaseStation:
             data_loss = float(loss_for_sir_db(s, self._coupling_packet_bits))
             link.loss = data_loss
 
-            def loss_fn(size: int, sir: float = s) -> float:
+            def loss_fn(size: int, sir_db: float = s) -> float:
                 gain = 20.0 if size <= ROBUST_FRAME_BYTES else 10.0
                 return float(
-                    loss_for_sir_db(sir, packet_bits=8 * size, coding_gain_db=gain)
+                    loss_for_sir_db(sir_db, packet_bits=8 * size, coding_gain_db=gain)
                 )
 
             link.loss_fn = loss_fn
@@ -407,7 +411,14 @@ class BaseStation:
             body=event.to_body(),
             kind=event.kind,
         )
-        for frag in self._wpacketizer.packetize(encode_message(msg)):
+        try:
+            fragments = self._wpacketizer.packetize(encode_message(msg))
+        except (RtpError, WireError):
+            # one client's oversized/unencodable rendition must not break
+            # the others'
+            self.forward_failures += 1
+            return
+        for frag in fragments:
             self._wsock.sendto(frag.encode(), dest)
 
     def _text_event_for(self, att: Attachment, ref_id: str, text: str) -> Event:
@@ -498,8 +509,28 @@ class BaseStation:
     # ------------------------------------------------------------------
     # uplink: wireless client → session, gated by the sender's SIR tier
     # ------------------------------------------------------------------
+    def _on_wireless_datagram(self, data: bytes, src: tuple[str, int]) -> None:
+        try:
+            self._wreassembler.ingest(data)
+        except RtpError:
+            self.decode_failures += 1
+
     def _on_wireless_payload(self, ssrc: int, payload: bytes) -> None:
-        msg = decode_message(payload)
+        try:
+            msg = decode_message(payload)
+        except WireError:
+            # a malformed uplink payload must not kill the BS event loop
+            self.decode_failures += 1
+            import warnings
+
+            from ..analysis.diagnostics import DiagnosticWarning
+
+            warnings.warn(
+                "base station dropped an undecodable uplink payload",
+                DiagnosticWarning,
+                stacklevel=2,
+            )
+            return
         try:
             event = decode_event(msg.kind, msg.body)
         except Exception:
@@ -523,7 +554,12 @@ class BaseStation:
                 body=fevent.to_body(),
                 kind=fevent.kind,
             )
-            self.endpoint.publish(out)
+            try:
+                self.endpoint.publish(out)
+            except (RtpError, WireError):
+                # one oversized/unencodable uplink event must not abort delivery
+                self.forward_failures += 1
+                continue
             # ... and unicast to the other wireless clients per their tiers
             self._forward_downlink(fevent, exclude=sender)
 

@@ -68,7 +68,7 @@ class NetworkStateInterface:
 
         {"cpu_load": 42.0, "page_faults": 31.0, "free_memory_kib": ...,
          "link_latency_ms": 0.5, "link_loss_ppm": 0.0,
-         "bandwidth_bps": 12500000.0}
+         "bandwidth_bps": 100000000.0}
     """
 
     def __init__(
@@ -102,11 +102,14 @@ class NetworkStateInterface:
     def add_standard_host_probes(self, host: str) -> None:
         """The extension agent's full parameter set for ``host``."""
         us_to_ms: Transform = lambda v: _numeric(v) / 1000.0
+        # the TASSL bandwidth gauge is in bytes/second on the wire; the
+        # observation key's `_bps` suffix promises bits/second
+        bytes_to_bits: Transform = lambda v: _numeric(v) * 8.0
         for oid, parameter, transform in (
             (TASSL.hostCpuLoad, "cpu_load", _numeric),
             (TASSL.hostPageFaults, "page_faults", _numeric),
             (TASSL.hostFreeMemory, "free_memory_kib", _numeric),
-            (TASSL.linkBandwidth, "bandwidth_bps", _numeric),
+            (TASSL.linkBandwidth, "bandwidth_bps", bytes_to_bits),
             (TASSL.linkLatencyUs, "link_latency_ms", us_to_ms),
             (TASSL.linkJitterUs, "link_jitter_ms", us_to_ms),
             (TASSL.linkLossPpm, "link_loss_ppm", _numeric),
@@ -116,15 +119,8 @@ class NetworkStateInterface:
     def add_switch_bandwidth_probe(
         self, element: str, if_index: int, parameter: str = "bandwidth_bps"
     ) -> None:
-        """Monitor a switch port's speed (MIB-II ifSpeed is in bits/s)."""
-        self.add_probe(
-            Probe(
-                element,
-                MIB2.ifSpeed.child(if_index),
-                parameter,
-                transform=lambda v: _numeric(v) / 8.0,
-            )
-        )
+        """Monitor a switch port's speed (MIB-II ifSpeed is already bits/s)."""
+        self.add_probe(Probe(element, MIB2.ifSpeed.child(if_index), parameter))
 
     def add_switch_octet_probes(self, element: str, if_index: int, prefix: str = "if") -> None:
         """Monitor a switch port's octet counters (utilisation estimation)."""

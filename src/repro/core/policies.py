@@ -162,15 +162,16 @@ def default_sir_tier_policy() -> SirTierPolicy:
 def default_bandwidth_policy() -> StepPolicy:
     """Network-bandwidth rule: starved links carry fewer image packets.
 
-    Thresholds in bytes/second of available path bandwidth: below
-    ~128 kB/s (≈1 Mb/s) a single packet; full budget above ~1.25 MB/s
-    (≈10 Mb/s).  Unlike the page-fault/CPU rules the output *rises* with
-    the input — :class:`StepPolicy` is direction-agnostic.
+    Thresholds in bits/second of available path bandwidth (matching the
+    ``_bps`` suffix of the observed parameter): below ~1 Mb/s a single
+    packet; full budget above 10 Mb/s.  Unlike the page-fault/CPU rules
+    the output *rises* with the input — :class:`StepPolicy` is
+    direction-agnostic.
     """
     return StepPolicy(
         parameter="bandwidth_bps",
         output="packets",
-        breakpoints=[(128_000, 1), (320_000, 2), (640_000, 4), (1_250_000, 8)],
+        breakpoints=[(1_024_000, 1), (2_560_000, 2), (5_120_000, 4), (10_000_000, 8)],
         floor=16,
     )
 

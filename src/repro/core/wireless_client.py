@@ -17,8 +17,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..messaging.message import SemanticMessage
-from ..messaging.rtp import RtpPacketizer, RtpReassembler
-from ..messaging.serialization import decode_message, encode_message
+from ..messaging.rtp import RtpError, RtpPacketizer, RtpReassembler
+from ..messaging.serialization import WireError, decode_message, encode_message
 from ..network.simnet import Network
 from ..network.udp import DatagramSocket
 from .events import (
@@ -56,8 +56,11 @@ class UnicastSemanticLink:
 
         ssrc = zlib.crc32(f"{host}:{self.sock.port}".encode()) & 0xFFFFFFFF
         self._packetizer = RtpPacketizer(ssrc)
-        self._reassembler = RtpReassembler(lambda _ssrc, payload: on_message(decode_message(payload)))
+        self._on_message = on_message
+        self._reassembler = RtpReassembler(self._on_payload)
         self.sent = 0
+        #: undecodable fragments/payloads dropped at the codec boundary
+        self.decode_failures = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -70,7 +73,19 @@ class UnicastSemanticLink:
         self.sent += 1
 
     def _on_datagram(self, data: bytes, src: tuple[str, int]) -> None:
-        self._reassembler.ingest(data)
+        try:
+            self._reassembler.ingest(data)
+        except RtpError:
+            # malformed fragments must not kill the client's event loop
+            self.decode_failures += 1
+
+    def _on_payload(self, ssrc: int, payload: bytes) -> None:
+        try:
+            message = decode_message(payload)
+        except WireError:
+            self.decode_failures += 1
+            return
+        self._on_message(message)
 
     def close(self) -> None:
         self.sock.close()

@@ -34,8 +34,8 @@ from ..network.multicast import MulticastGroup, MulticastSocket
 from ..network.simnet import Network
 from .broker import Delivery
 from .message import SemanticMessage
-from .rtp import DEFAULT_MTU, RtpPacketizer, RtpReassembler
-from .serialization import decode_message, encode_message
+from .rtp import DEFAULT_MTU, RtpError, RtpPacketizer, RtpReassembler
+from .serialization import WireError, decode_message, encode_message
 
 __all__ = [
     "Transport",
@@ -131,9 +131,13 @@ class SimTransport:
             self.on_receive(data, src)
 
     def send(self, data: bytes) -> int:
+        if self._closed:
+            raise RuntimeError("transport is closed")
         return self._socket.send(data)
 
     def unicast(self, data: bytes, dest: tuple[str, int]) -> bool:
+        if self._closed:
+            raise RuntimeError("transport is closed")
         return self._socket.unicast(data, dest)
 
     def close(self) -> None:
@@ -330,6 +334,8 @@ class SemanticEndpoint:
         self.sent_fragments = 0
         self.received_messages = 0
         self.accepted_messages = 0
+        #: undecodable fragments/payloads dropped at the codec boundary
+        self.decode_failures = 0
 
     @property
     def transport(self) -> Transport:
@@ -380,10 +386,20 @@ class SemanticEndpoint:
         return self.scheduler.clock.now if self.scheduler is not None else 0.0
 
     def _on_datagram(self, data: bytes, src: tuple[str, int]) -> None:
-        self._reassembler.ingest(data, now=self._now())
+        try:
+            self._reassembler.ingest(data, now=self._now())
+        except RtpError:
+            # a malformed fragment from the wire must not kill the loop
+            self.decode_failures += 1
+            self._warn_decode("dropped an undecodable RTP fragment")
 
     def _on_payload(self, ssrc: int, payload: bytes) -> None:
-        message = decode_message(payload)
+        try:
+            message = decode_message(payload)
+        except WireError:
+            self.decode_failures += 1
+            self._warn_decode("dropped an undecodable message payload")
+            return
         self.received_messages += 1
         result = interpret(message.selector, message.effective_headers(), self.profile)
         if result.decision is Decision.REJECT:
@@ -392,6 +408,13 @@ class SemanticEndpoint:
             return
         self.accepted_messages += 1
         self.on_delivery(Delivery(message, result))
+
+    def _warn_decode(self, what: str) -> None:
+        import warnings
+
+        from ..analysis.diagnostics import DiagnosticWarning
+
+        warnings.warn(f"endpoint {self.host}: {what}", DiagnosticWarning, stacklevel=3)
 
     def _expire_tick(self) -> None:
         if self._closed or self.scheduler is None:

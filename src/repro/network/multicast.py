@@ -99,6 +99,7 @@ class MulticastSocket:
         self._sock.bind_ephemeral()
         self._sock.on_receive = self._dispatch
         self.on_receive = on_receive
+        self._closed = False
         group.join(self)
 
     @property
@@ -109,18 +110,34 @@ class MulticastSocket:
         if self.on_receive is not None:
             self.on_receive(data, src)
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`leave`/:meth:`close` has run."""
+        return self._closed
+
     def send(self, data: bytes) -> int:
         """Multicast ``data`` to the group; returns datagrams scheduled."""
+        if self._closed:
+            raise NetworkError("multicast socket is closed")
         return self.group.fan_out(data, self, self.loopback)
 
     def unicast(self, data: bytes, dest: tuple[Address, int]) -> bool:
         """Point-to-point send from the same local port (BS→wireless path)."""
+        if self._closed:
+            raise NetworkError("multicast socket is closed")
         return self._sock.sendto(data, dest)
 
     def leave(self) -> None:
-        """Leave the group and release the underlying socket."""
+        """Leave the group and release the underlying socket.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         self.group.leave(self)
         self._sock.close()
+
+    def close(self) -> None:
+        """Alias for :meth:`leave`, matching the transport surface."""
+        self.leave()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"MulticastSocket({self.host}:{self.local_port} in {self.group.group})"

@@ -68,6 +68,8 @@ class DatagramSocket:
 
     def bind_ephemeral(self) -> int:
         """Bind to the first free ephemeral port; returns the port."""
+        if self._closed:
+            raise NetworkError("socket is closed")
         node = self.network.node(self.host)
         port = EPHEMERAL_BASE
         while True:

@@ -53,6 +53,7 @@ class RealSnmpAgent:
         self.write_community = write_community
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((host, port))
+        self._closed = False
         self.requests_served = 0
 
     @property
@@ -62,6 +63,8 @@ class RealSnmpAgent:
 
     def serve_once(self, timeout: float = 1.0) -> bool:
         """Handle one request; returns False on timeout."""
+        if self._closed:
+            raise RuntimeError("agent socket is closed")
         self._sock.settimeout(timeout)
         try:
             data, src = self._sock.recvfrom(65535)
@@ -137,7 +140,10 @@ class RealSnmpAgent:
         )
 
     def close(self) -> None:
-        self._sock.close()
+        """Release the socket.  Idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
 
 
 class RealSnmpManager:
@@ -151,6 +157,7 @@ class RealSnmpManager:
     ) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind(("127.0.0.1", 0))
+        self._closed = False
         self.community = community
         self.timeout = timeout
         self.retries = retries
@@ -159,6 +166,8 @@ class RealSnmpManager:
     def _request(
         self, agent: tuple[str, int], pdu_tag: int, varbinds: Seq[tuple[OID, object]]
     ) -> list[tuple[OID, object]]:
+        if self._closed:
+            raise RuntimeError("manager socket is closed")
         request_id = self._request_id
         self._request_id += 1
         wire = encode(
@@ -218,4 +227,7 @@ class RealSnmpManager:
         return self._request(agent, PDU_SET, list(varbinds))
 
     def close(self) -> None:
-        self._sock.close()
+        """Release the socket.  Idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._sock.close()

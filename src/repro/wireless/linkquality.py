@@ -74,9 +74,13 @@ def loss_for_sir_db(
 
 
 def effective_throughput(
-    gamma: ArrayLike, rate_bps: float = 1_375_000.0, packet_bits: int = 8000
+    gamma: ArrayLike, rate_bps: float = 11_000_000.0, packet_bits: int = 8000
 ) -> ArrayLike:
-    """Goodput after loss: ``rate * (1 - P_loss)`` in bytes/second."""
+    """Goodput after loss: ``rate_bps * (1 - P_loss)`` in bits/second.
+
+    The default raw rate is the 802.11b-style 11 Mb/s channel the
+    paper's wireless experiments assume.
+    """
     if rate_bps <= 0:
         raise ValueError("rate_bps must be positive")
     loss = packet_loss_probability(gamma, packet_bits)

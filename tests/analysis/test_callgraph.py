@@ -1,0 +1,168 @@
+"""Unit tests for the project call graph the dataflow passes run over."""
+
+from repro.analysis import build_call_graph_from_sources
+from repro.analysis.callgraph import module_name_for_path
+
+
+def graph_of(*sources):
+    return build_call_graph_from_sources(list(sources))
+
+
+class TestModuleNames:
+    def test_src_rooted_path_becomes_dotted(self):
+        assert (
+            module_name_for_path("src/repro/wireless/sir.py") == "repro.wireless.sir"
+        )
+
+    def test_repro_rooted_path_without_src(self):
+        assert module_name_for_path("repro/core/netstate.py") == "repro.core.netstate"
+
+    def test_loose_file_uses_stem(self):
+        assert module_name_for_path("corpus/snippet.py") == "snippet"
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for_path("src/repro/analysis/__init__.py") == "repro.analysis"
+
+
+class TestDeclarations:
+    def test_functions_and_methods_get_qualnames(self):
+        g = graph_of(
+            (
+                "mod.py",
+                "def free():\n"
+                "    pass\n"
+                "class Box:\n"
+                "    def get(self):\n"
+                "        pass\n",
+            )
+        )
+        assert "mod.free" in g.functions
+        assert "mod.Box.get" in g.functions
+        assert g.functions["mod.Box.get"].cls == "Box"
+
+    def test_params_exclude_self(self):
+        g = graph_of(
+            ("mod.py", "class Box:\n    def put(self, item, *, late=False):\n        pass\n")
+        )
+        assert g.functions["mod.Box.put"].params == ("item", "late")
+
+    def test_class_bases_recorded(self):
+        g = graph_of(
+            (
+                "mod.py",
+                "class WireError(Exception):\n    pass\n"
+                "class RtpError(WireError):\n    pass\n",
+            )
+        )
+        assert g.class_bases["RtpError"] == ("WireError",)
+        assert "WireError" in g.ancestors("RtpError")
+
+    def test_self_attr_ctor_types_recorded(self):
+        g = graph_of(
+            (
+                "mod.py",
+                "class Sock:\n"
+                "    def send(self, b):\n"
+                "        pass\n"
+                "class Host:\n"
+                "    def __init__(self):\n"
+                "        self.sock = Sock()\n",
+            )
+        )
+        assert g.attr_types[("Host", "sock")] == "Sock"
+
+
+class TestCallResolution:
+    def test_module_level_lexical_call(self):
+        g = graph_of(
+            ("mod.py", "def helper():\n    pass\ndef entry():\n    helper()\n")
+        )
+        assert g.callees_of("mod.entry") == {"mod.helper"}
+        assert g.callers_of("mod.helper") == {"mod.entry"}
+
+    def test_self_dispatch_resolves_to_method(self):
+        g = graph_of(
+            (
+                "mod.py",
+                "class Box:\n"
+                "    def get(self):\n"
+                "        return self.check()\n"
+                "    def check(self):\n"
+                "        pass\n",
+            )
+        )
+        assert g.callees_of("mod.Box.get") == {"mod.Box.check"}
+
+    def test_ctor_assigned_local_receiver_is_typed(self):
+        g = graph_of(
+            (
+                "mod.py",
+                "class Sched:\n"
+                "    def call_after(self, delay, fn):\n"
+                "        pass\n"
+                "def arm(fn):\n"
+                "    s = Sched()\n"
+                "    s.call_after(1.0, fn)\n",
+            )
+        )
+        (site,) = [s for s in g.calls_from("mod.arm") if s.method == "call_after"]
+        assert site.recv_type == "Sched"
+        assert site.callee == "mod.Sched.call_after"
+
+    def test_annotated_parameter_receiver_is_typed(self):
+        g = graph_of(
+            (
+                "mod.py",
+                "class Sched:\n"
+                "    def cancel(self):\n"
+                "        pass\n"
+                "def stop(s: Sched):\n"
+                "    s.cancel()\n",
+            )
+        )
+        (site,) = g.calls_from("mod.stop")
+        assert site.recv_type == "Sched"
+
+    def test_self_attr_receiver_resolved_across_methods(self):
+        g = graph_of(
+            (
+                "mod.py",
+                "class Sock:\n"
+                "    def send(self, b):\n"
+                "        pass\n"
+                "class Host:\n"
+                "    def __init__(self):\n"
+                "        self.sock = Sock()\n"
+                "    def tx(self):\n"
+                "        self.sock.send(b'x')\n",
+            )
+        )
+        (site,) = g.calls_from("mod.Host.tx")
+        assert site.recv_type == "Sock"
+        assert site.callee == "mod.Sock.send"
+
+    def test_cross_module_import_resolution(self):
+        g = graph_of(
+            ("src/pkg/util.py", "def helper():\n    pass\n"),
+            (
+                "src/pkg/app.py",
+                "from pkg.util import helper\n\ndef entry():\n    helper()\n",
+            ),
+        )
+        assert g.callees_of("pkg.app.entry") == {"pkg.util.helper"}
+
+    def test_unresolved_call_still_recorded_as_site(self):
+        g = graph_of(("mod.py", "def entry(x):\n    x.mystery()\n"))
+        (site,) = g.calls_from("mod.entry")
+        assert site.callee is None
+        assert site.method == "mystery"
+
+    def test_syntax_error_file_is_skipped(self):
+        g = graph_of(("bad.py", "def broken(:\n"), ("ok.py", "def fine():\n    pass\n"))
+        assert "fine" in {f.name for f in g.functions.values()}
+        assert "bad.py" not in g.sources
+
+    def test_function_by_suffix(self):
+        g = graph_of(("src/pkg/util.py", "def helper():\n    pass\n"))
+        assert g.function_by_suffix("util.helper").qualname == "pkg.util.helper"
+        assert g.function_by_suffix("nope.missing") is None

@@ -66,7 +66,10 @@ class TestNetworkStateInterface:
         observed = ns.poll()
         assert observed["cpu_load"] == 40.0
         assert observed["page_faults"] == 35.0
-        assert observed["bandwidth_bps"] > 0
+        # regression (UNI003): the TASSL gauge is bytes/s on the wire but
+        # the `_bps` observation key promises bits/s — the probe converts
+        link = fw.network.link("alice", "lan-switch")
+        assert observed["bandwidth_bps"] == pytest.approx(link.bandwidth * 8)
         assert observed["link_latency_ms"] == pytest.approx(0.5)
         assert ns.poll_count == 1
         assert ns.probe_failures == 0
@@ -76,7 +79,8 @@ class TestNetworkStateInterface:
         ns.add_switch_bandwidth_probe("lan-switch", 1, parameter="path_bw")
         observed = ns.poll()
         link = fw.network.link("alice", "lan-switch")
-        assert observed["path_bw"] == pytest.approx(link.bandwidth)
+        # regression (UNI003): MIB-II ifSpeed is already bits/s — no /8
+        assert observed["path_bw"] == pytest.approx(link.bandwidth * 8)
 
     def test_batched_one_get_per_host(self, fw):
         ns = NetworkStateInterface(fw.network, "alice")
@@ -108,13 +112,13 @@ class TestNetworkStateInterface:
 class TestBandwidthPolicy:
     def test_starved_link_cuts_packets(self):
         p = default_bandwidth_policy()
-        assert p.decide(64_000) == 1       # ~0.5 Mb/s
-        assert p.decide(500_000) == 4
-        assert p.decide(12_500_000) == 16  # LAN
+        assert p.decide(512_000) == 1        # 0.5 Mb/s
+        assert p.decide(4_000_000) == 4      # 4 Mb/s
+        assert p.decide(100_000_000) == 16   # LAN
 
     def test_client_integration_bandwidth_constrains(self):
         fw = CollaborationFramework("bwtest")
-        # a thin 2 Mb/s access link
+        # a thin access link: 250 kB/s == 2 Mb/s
         alice = fw.add_wired_client(
             "alice",
             cpu_workload=Constant(20.0),
@@ -140,7 +144,7 @@ class TestBandwidthPolicy:
             "alice",
             cpu_workload=Constant(20.0),
             fault_workload=Constant(95.0),     # paging: policy says 1
-            link_kwargs={"bandwidth": 700_000.0},  # bandwidth says 8
+            link_kwargs={"bandwidth": 700_000.0},  # 5.6 Mb/s: bandwidth says 8
         )
         alice.enable_network_monitoring()
         assert alice.monitor_and_adapt().packets == 1  # most constrained wins

@@ -103,3 +103,21 @@ class TestRealWire:
         finally:
             mgr.close()
             t.join()
+
+
+class TestSocketLifecycle:
+    """Regression (RES002/RES003): idempotent close, guarded use-after-close."""
+
+    def test_agent_close_idempotent_and_guarded(self, stack):
+        agent, _, _ = stack
+        agent.close()
+        agent.close()
+        with pytest.raises(RuntimeError):
+            agent.serve_once(timeout=0.01)
+
+    def test_manager_close_idempotent_and_guarded(self, stack):
+        agent, mgr, _ = stack
+        mgr.close()
+        mgr.close()
+        with pytest.raises(RuntimeError):
+            mgr.get(agent.address, [TASSL.hostCpuLoad])
