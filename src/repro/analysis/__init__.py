@@ -24,7 +24,12 @@ codes:
   project call graph (:mod:`~repro.analysis.callgraph`): physical-unit
   propagation (dB vs linear, bit/s vs byte/s, s/ms/µs), exception-escape
   summaries for dispatch boundaries, and path-sensitive socket/transport
-  lifecycle tracking.
+  lifecycle tracking;
+* :mod:`~repro.analysis.typestate` — protocol-automaton typestate over
+  the same call graph (lock discipline, RTP fragment sequencing, SNMP
+  sessions, subscription lifecycle; TSP001–007) plus callback-context
+  concurrency discipline (shared-state mutation, synchronous republish,
+  cross-thread captures; CON001–003).
 
 CI gates on *new* findings only via a checked-in baseline
 (:mod:`~repro.analysis.baseline`), and emits SARIF for code-scanning
@@ -70,6 +75,14 @@ from .policy_lint import (
 from .repo_lint import extract_selector_literals, lint_file, lint_paths, lint_source
 from .runner import AnalysisReport, analyze_defaults, render_json, render_text, run_analysis
 from .sarif import render_sarif
+from .typestate import (
+    PROTOCOLS,
+    SHARED_STATE_CLASSES,
+    EventRule,
+    ProtocolSpec,
+    analyze_typestate,
+    typestate_diagnostics,
+)
 from .selector_analysis import (
     SelectorReport,
     Verdict,
@@ -127,6 +140,12 @@ __all__ = [
     "dataflow_diagnostics",
     "compute_return_units",
     "compute_escaping_exceptions",
+    "EventRule",
+    "ProtocolSpec",
+    "PROTOCOLS",
+    "SHARED_STATE_CLASSES",
+    "analyze_typestate",
+    "typestate_diagnostics",
     "fingerprint",
     "load_baseline",
     "dump_baseline",

@@ -17,6 +17,10 @@ Examples::
     # machine-readable output
     python -m repro.analysis --format json
     python -m repro.analysis --format sarif > analysis.sarif
+
+    # document rules (all, or specific codes)
+    python -m repro.analysis --explain
+    python -m repro.analysis --explain TSP001 CON002
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from typing import Optional, Sequence
 
 from .baseline import apply_baseline, dump_baseline, load_baseline, stale_entries
 from .runner import AnalysisReport
-from .diagnostics import Severity
+from .diagnostics import RULES, Severity
 from .runner import render_json, render_text, run_analysis
 from .sarif import render_sarif
 
@@ -37,6 +41,19 @@ DEFAULT_PATHS = ("src/repro", "examples")
 
 def _default_paths() -> list[str]:
     return [p for p in DEFAULT_PATHS if os.path.exists(p)]
+
+
+def _explain(codes: Sequence[str]) -> int:
+    """Print the rule registry (all rules, or just ``codes``)."""
+    wanted = [c.strip().upper() for c in codes]
+    unknown = [c for c in wanted if c not in RULES]
+    if unknown:
+        print(f"unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for code in wanted or sorted(RULES):
+        severity, description = RULES[code]
+        print(f"{code}  {severity}  {description}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -100,7 +117,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="skip the dataflow passes (units, exceptions, resources)",
     )
+    parser.add_argument(
+        "--no-typestate",
+        action="store_true",
+        help="skip the typestate/concurrency passes (protocol automata)",
+    )
+    parser.add_argument(
+        "--explain",
+        nargs="*",
+        metavar="CODE",
+        help="print rule documentation (all rules, or just the named codes) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.explain is not None:
+        return _explain(args.explain)
 
     baseline = None
     if args.baseline and not args.write_baseline:
@@ -116,6 +147,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         selectors=args.selector,
         include_defaults=not args.no_defaults,
         include_dataflow=not args.no_dataflow,
+        include_typestate=not args.no_typestate,
         ignore=args.ignore,
     )
 

@@ -103,6 +103,18 @@ RULES: dict[str, tuple[Severity, str]] = {
     "RES001": (Severity.WARNING, "socket/transport leaks: never closed, or not closed on every path"),
     "RES002": (Severity.WARNING, "double close of a socket/transport on one path"),
     "RES003": (Severity.ERROR, "socket/transport used after close on one path"),
+    # -- typestate: protocol automata -------------------------------------
+    "TSP001": (Severity.ERROR, "lock released without a matching acquire on this path"),
+    "TSP002": (Severity.WARNING, "lock acquired twice by the same holder without a release between"),
+    "TSP003": (Severity.ERROR, "LeaveEvent handled without revoking the departed client's locks"),
+    "TSP004": (Severity.WARNING, "RTP fragments emitted out of frag_index order"),
+    "TSP005": (Severity.ERROR, "RTP reassembly consumed before frag_count fragments arrived"),
+    "TSP006": (Severity.ERROR, "SNMP request issued on a closed manager session"),
+    "TSP007": (Severity.ERROR, "publish/callback registration on a detached subscription"),
+    # -- concurrency: callback-context discipline -------------------------
+    "CON001": (Severity.WARNING, "shared Arbiter/LockManager/bus state mutated from a delivery callback"),
+    "CON002": (Severity.WARNING, "SemanticBus.publish() called synchronously from a delivery callback"),
+    "CON003": (Severity.WARNING, "shared container mutated by callbacks from multiple thread roots"),
 }
 
 

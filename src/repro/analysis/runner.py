@@ -14,11 +14,12 @@ import json
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from .dataflow import analyze_dataflow
+from .dataflow import dataflow_diagnostics
 from .diagnostics import Diagnostic, Severity, filter_diagnostics, max_severity
 from .policy_lint import lint_policy_database
 from .repo_lint import lint_paths
 from .selector_analysis import selector_diagnostics
+from .typestate import typestate_diagnostics
 
 __all__ = ["AnalysisReport", "run_analysis", "analyze_defaults", "render_text", "render_json"]
 
@@ -73,6 +74,7 @@ def run_analysis(
     selectors: Iterable[str] = (),
     include_defaults: bool = True,
     include_dataflow: bool = True,
+    include_typestate: bool = True,
     ignore: Iterable[str] = (),
     baseline: Optional[dict[str, int]] = None,
 ) -> AnalysisReport:
@@ -91,8 +93,14 @@ def run_analysis(
         diags.extend(analyze_defaults(ignore=ignore))
     if paths:
         diags.extend(lint_paths(paths, ignore=ignore))
-        if include_dataflow:
-            diags.extend(analyze_dataflow(paths, ignore=ignore))
+        if include_dataflow or include_typestate:
+            from .callgraph import build_call_graph
+
+            graph = build_call_graph(paths)  # shared by both families
+            if include_dataflow:
+                diags.extend(dataflow_diagnostics(graph, ignore=ignore))
+            if include_typestate:
+                diags.extend(typestate_diagnostics(graph, ignore=ignore))
     for expr in selectors:
         diags.extend(
             filter_diagnostics(selector_diagnostics(expr), ignore=ignore)

@@ -94,5 +94,6 @@ class Whiteboard:
 
     @property
     def conflicts(self) -> int:
-        """Number of concurrent-update collisions recorded (none lost)."""
-        return len(self.arbiter.conflicts)
+        """Total concurrent-update collisions, including any the bounded
+        history has evicted (the overflow counter keeps the tally exact)."""
+        return self.arbiter.total_conflicts

@@ -273,6 +273,7 @@ class WiredClient:
             self.membership.join(event.client_id, now)
         elif isinstance(event, LeaveEvent):
             self.membership.leave(event.client_id)
+            self._revoke_departed_locks(event.client_id)
         elif isinstance(event, ProfileUpdateEvent):
             self.repository.put(
                 f"peer-profile/{event.client_id}",
@@ -427,6 +428,27 @@ class WiredClient:
             self._publish_event(
                 LockGrantEvent(client_id="", object_id=event.object_id, granted=False)
             )
+
+    def _revoke_departed_locks(self, client_id: str) -> None:
+        """Revoke every lock a departed client held (Sec. 2 semantics).
+
+        Every replica drops the leaver from its grant view immediately;
+        the coordinator additionally purges the leaver from its queues
+        via :meth:`~repro.core.concurrency.LockManager.drop_client` and
+        announces the successor (or the free state) for each lock.
+        """
+        for object_id, owner in list(self.lock_owners.items()):
+            if owner == client_id:
+                self.lock_owners.pop(object_id, None)
+        if not self.lock_coordinator:
+            return
+        for object_id, next_owner in self.whiteboard.locks.drop_client(client_id):
+            if next_owner is not None:
+                self._announce_grant(object_id, next_owner)
+            else:
+                self._publish_event(
+                    LockGrantEvent(client_id="", object_id=object_id, granted=False)
+                )
 
     def _on_lock_grant(self, event: LockGrantEvent) -> None:
         if event.granted and event.client_id:

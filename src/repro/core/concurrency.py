@@ -37,7 +37,14 @@ class Conflict:
 
 
 class Arbiter:
-    """LWW arbitration with full conflict retention.
+    """LWW arbitration with bounded conflict retention.
+
+    The conflict history is a :class:`~collections.deque` capped at
+    ``max_conflicts`` (generous by default) so a chatty session cannot
+    grow it without bound; "nothing is lost" is preserved accountably —
+    when the cap evicts the oldest record, :attr:`conflicts_dropped`
+    counts it, so ``len(conflicts) + conflicts_dropped`` is always the
+    true collision total.
 
     >>> repo = StateRepository(); arb = Arbiter(repo)
     >>> a = StateEntry("obj", "from-a", 1, 1.0, "alice")
@@ -51,9 +58,11 @@ class Arbiter:
     'from-a'
     """
 
-    def __init__(self, repository: StateRepository) -> None:
+    def __init__(self, repository: StateRepository, max_conflicts: int = 4096) -> None:
         self.repository = repository
-        self.conflicts: list[Conflict] = []
+        self.max_conflicts = max_conflicts
+        self.conflicts: deque[Conflict] = deque(maxlen=max_conflicts)
+        self.conflicts_dropped = 0  #: records evicted by the cap
 
     def submit(self, entry: StateEntry) -> bool:
         """Offer an update; returns True if it is now current.
@@ -67,8 +76,15 @@ class Arbiter:
             winner = self.repository.get(entry.key)
             loser = entry if not applied else current
             assert winner is not None
+            if len(self.conflicts) == self.max_conflicts:
+                self.conflicts_dropped += 1
             self.conflicts.append(Conflict(entry.key, winner, loser))
         return applied
+
+    @property
+    def total_conflicts(self) -> int:
+        """Every collision ever recorded, including evicted ones."""
+        return len(self.conflicts) + self.conflicts_dropped
 
     def conflicts_for(self, key: str) -> list[Conflict]:
         """All recorded collisions on one object."""

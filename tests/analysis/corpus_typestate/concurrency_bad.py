@@ -1,0 +1,34 @@
+"""Known-bad callback-context concurrency: CON001, CON002, CON003."""
+
+EVENTS = []
+
+
+class Client:
+    def __init__(self, bus, sock, repo):
+        self.bus = bus
+        self.arbiter = Arbiter(repo)  # noqa: F821
+        sock.on_receive = self._on_msg
+
+    def _on_msg(self, msg):
+        # CON001: direct shared-state mutation inside the dispatch
+        self.arbiter.conflicts.clear()
+        # CON002: synchronous re-entry into the bus
+        self.bus.publish(msg)
+
+
+def on_msg(delivery):
+    EVENTS.append(delivery)
+
+
+def wire_main(sock):
+    sock.on_receive = on_msg
+
+
+def worker(sock2):
+    sock2.on_receive = on_msg
+
+
+def start(sock, sock2):
+    wire_main(sock)
+    t = Thread(target=worker)  # noqa: F821
+    t.start()

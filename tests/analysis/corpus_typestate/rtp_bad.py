@@ -1,0 +1,12 @@
+"""Known-bad RTP sequencing: TSP004, TSP005."""
+
+
+def emit_out_of_order(out):
+    out.append(RtpPacket(1, 7, 0, 3, 10, b"a"))  # noqa: F821
+    out.append(RtpPacket(1, 7, 2, 3, 11, b"b"))  # noqa: F821
+    out.append(RtpPacket(1, 7, 1, 3, 12, b"c"))  # noqa: F821
+
+
+def assemble_early(frag_count):
+    part = _PartialMessage(frag_count)  # noqa: F821
+    return part.assemble()

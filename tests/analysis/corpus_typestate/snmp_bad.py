@@ -1,0 +1,6 @@
+"""Known-bad SNMP session use: TSP006."""
+
+
+def request_after_close(mgr: SnmpManager):  # noqa: F821
+    mgr.close()
+    return mgr.get("host", ["1.3.6.1.4.1.2946.2.1.1"])

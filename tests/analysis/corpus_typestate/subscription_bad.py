@@ -1,0 +1,13 @@
+"""Known-bad subscription lifecycle: TSP007."""
+
+
+def deliver_after_detach(bus, profile, on_msg, delivery):
+    sub = bus.attach(profile, on_msg)
+    sub.detach()
+    sub.callback(delivery)
+
+
+def stale_reattach(bus, profile, on_msg):
+    sub = bus.attach(profile, on_msg)
+    sub.detach()
+    sub.active = True

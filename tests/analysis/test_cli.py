@@ -70,3 +70,52 @@ class TestPaths:
         assert main([str(good), "--no-defaults"]) == 0
         out = capsys.readouterr().out
         assert "0 error(s), 0 warning(s), 0 info(s)" in out
+
+
+BAD_TYPESTATE = (
+    "def bad():\n"
+    "    lm = LockManager()\n"
+    "    lm.release('k', 'a')\n"
+)
+
+
+class TestTypestate:
+    def test_typestate_finding_gates(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_TYPESTATE)
+        assert main([str(bad), "--no-defaults"]) == 1
+        assert "TSP001" in capsys.readouterr().out
+
+    def test_no_typestate_skips_the_pass(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_TYPESTATE)
+        assert main([str(bad), "--no-defaults", "--no-typestate"]) == 0
+        assert "TSP001" not in capsys.readouterr().out
+
+    def test_typestate_findings_reach_sarif(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_TYPESTATE)
+        main([str(bad), "--no-defaults", "--format", "sarif", "--fail-on", "never"])
+        sarif = json.loads(capsys.readouterr().out)
+        results = sarif["runs"][0]["results"]
+        assert any(r["ruleId"] == "TSP001" for r in results)
+        rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+        assert any(r["id"] == "TSP001" for r in rules)
+
+
+class TestExplain:
+    def test_explain_all_lists_every_rule(self, capsys):
+        assert main(["--explain"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SEL001", "RES003", "TSP001", "TSP007", "CON003"):
+            assert code in out
+
+    def test_explain_specific_codes(self, capsys):
+        assert main(["--explain", "TSP001", "CON002"]) == 0
+        out = capsys.readouterr().out
+        assert "TSP001" in out and "CON002" in out
+        assert "SEL001" not in out
+
+    def test_explain_unknown_code_fails(self, capsys):
+        assert main(["--explain", "NOPE99"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err

@@ -99,6 +99,47 @@ class TestLockFlow:
         fw.run_for(0.3)
         assert "s" in coord.held_locks
 
+    def test_leave_revokes_held_lock(self, session):
+        """Sec. 2: a departing client's locks are revoked session-wide."""
+        fw, coord, a, b = session
+        a.request_lock("s")
+        fw.run_for(0.5)
+        assert a.lock_owners["s"] == "alice"
+        a.leave()
+        fw.run_for(0.5)
+        for c in (coord, b):
+            assert "s" not in c.lock_owners
+        # the freed object is lockable again
+        b.request_lock("s")
+        fw.run_for(0.5)
+        assert "s" in b.held_locks
+
+    def test_leave_hands_lock_to_waiter(self, session):
+        fw, coord, a, b = session
+        a.request_lock("s")
+        fw.run_for(0.5)
+        b.request_lock("s")
+        fw.run_for(0.5)
+        assert "s" not in b.held_locks
+        a.leave()
+        fw.run_for(0.5)
+        assert "s" in b.held_locks
+        for c in (coord, b):
+            assert c.lock_owners["s"] == "bob"
+
+    def test_leave_purges_queued_requests(self, session):
+        fw, coord, a, b = session
+        a.request_lock("s")
+        fw.run_for(0.3)
+        b.request_lock("s")
+        fw.run_for(0.3)
+        b.leave()  # waiter departs before the grant
+        fw.run_for(0.3)
+        a.release_lock("s")
+        fw.run_for(0.5)
+        for c in (coord, a):
+            assert "s" not in c.lock_owners  # nobody left to hand it to
+
     def test_no_coordinator_no_grants(self):
         fw = CollaborationFramework("anarchic")
         a = fw.add_wired_client("alice")

@@ -91,7 +91,7 @@ class TestArbiter:
         arb = Arbiter(repo)
         arb.submit(StateEntry("obj", "v1", 1, 1.0, "a"))
         arb.submit(StateEntry("obj", "v2", 2, 2.0, "a"))
-        assert arb.conflicts == []
+        assert list(arb.conflicts) == []
 
     def test_conflicts_for_key(self):
         repo = StateRepository()
@@ -101,6 +101,25 @@ class TestArbiter:
         arb.submit(StateEntry("y", "3", 1, 1.0, "a"))
         assert len(arb.conflicts_for("x")) == 1
         assert arb.conflicts_for("y") == []
+
+    def test_history_bounded_with_overflow_counter(self):
+        """The cap evicts oldest records but the total stays accountable."""
+        repo = StateRepository()
+        arb = Arbiter(repo, max_conflicts=3)
+        for i in range(5):
+            arb.submit(StateEntry(f"k{i}", "a", 1, 1.0, "alice"))
+            arb.submit(StateEntry(f"k{i}", "b", 1, 1.0, "bob"))
+        assert len(arb.conflicts) == 3
+        assert arb.conflicts_dropped == 2
+        assert arb.total_conflicts == 5
+        # newest records survive, oldest were evicted
+        assert [c.key for c in arb.conflicts] == ["k2", "k3", "k4"]
+
+    def test_default_cap_is_generous(self):
+        repo = StateRepository()
+        arb = Arbiter(repo)
+        assert arb.max_conflicts >= 1024
+        assert arb.conflicts.maxlen == arb.max_conflicts
 
 
 class TestLockManager:
@@ -153,3 +172,98 @@ class TestLockManager:
         lm.acquire("k", "b")
         lm.drop_client("b")
         assert lm.release("k", "a") is None
+
+
+# ----------------------------------------------------------------------
+# LockManager property test: arbitrary interleavings of request /
+# release / leave preserve the paper's Sec. 2 lock invariants.
+# ----------------------------------------------------------------------
+CLIENTS = ("alice", "bob", "carol")
+KEYS = ("wb/s1", "wb/s2")
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("acquire"), st.sampled_from(KEYS), st.sampled_from(CLIENTS)),
+        st.tuples(st.just("release"), st.sampled_from(KEYS), st.sampled_from(CLIENTS)),
+        st.tuples(st.just("leave"), st.just(""), st.sampled_from(CLIENTS)),
+    ),
+    max_size=40,
+)
+
+
+class _LockModel:
+    """Reference model: owner + FIFO queue per key, pure Python lists."""
+
+    def __init__(self):
+        self.owner = {}
+        self.queue = {k: [] for k in KEYS}
+
+    def acquire(self, key, client):
+        if self.owner.get(key) in (None, client):
+            self.owner[key] = client
+            return True
+        if client not in self.queue[key]:
+            self.queue[key].append(client)
+        return False
+
+    def release(self, key, client):
+        assert self.owner.get(key) == client
+        if self.queue[key]:
+            nxt = self.queue[key].pop(0)
+            self.owner[key] = nxt
+            return nxt
+        del self.owner[key]
+        return None
+
+    def leave(self, client):
+        for key in KEYS:
+            if client in self.queue[key]:
+                self.queue[key].remove(client)
+        for key in list(self.owner):
+            if self.owner[key] == client:
+                self.release(key, client)
+
+
+@given(_ops)
+def test_lockmanager_interleavings_match_model(ops):
+    """Grants follow request order, tie-breaks deterministically, and
+    leave revokes — for every interleaving, against a reference model."""
+    lm = LockManager()
+    model = _LockModel()
+    for op, key, client in ops:
+        if op == "acquire":
+            assert lm.acquire(key, client) == model.acquire(key, client)
+        elif op == "release":
+            if model.owner.get(key) == client:
+                assert lm.release(key, client) == model.release(key, client)
+            else:
+                with pytest.raises(LockError):
+                    lm.release(key, client)
+        else:
+            got = dict(lm.drop_client(client))
+            model.leave(client)
+            for changed_key, new_owner in got.items():
+                assert model.owner.get(changed_key) == new_owner
+        for k in KEYS:
+            assert lm.owner(k) == model.owner.get(k)
+
+
+@given(_ops)
+def test_lockmanager_determinism(ops):
+    """Same interleaving twice -> identical grants and final owners."""
+    results = []
+    for _ in range(2):
+        lm = LockManager()
+        trace = []
+        for op, key, client in ops:
+            if op == "acquire":
+                trace.append(lm.acquire(key, client))
+            elif op == "release":
+                try:
+                    trace.append(lm.release(key, client))
+                except LockError:
+                    trace.append("error")
+            else:
+                trace.append(tuple(lm.drop_client(client)))
+        results.append((trace, {k: lm.owner(k) for k in KEYS}))
+    assert results[0] == results[1]

@@ -101,6 +101,28 @@ class TestSubscriptions:
         assert bus.subscribers == 0
         sub.detach()  # still a no-op after the bus already removed it
 
+    def test_stale_handle_cannot_reattach(self, bus):
+        """Flipping .active on a detached handle must not restore routing."""
+        got = []
+        _, sub = attach(bus, "c", got)
+        sub.detach()
+        sub.active = True  # the stale-handle abuse TSP007 flags statically
+        bus.publish(SemanticMessage.create("s", "true"))
+        assert got == []
+        assert bus.subscribers == 0
+
+    def test_detach_prunes_index_shortlist(self, bus):
+        """The matching engine must drop the subscription from its index."""
+        got = []
+        _, sub = attach(bus, "medic", got, attrs={"role": "medic"})
+        msg = SemanticMessage.create("s", "role == 'medic'")
+        before = bus.engine.shortlist(msg.selector)
+        assert before.via_index and sub in before.keys
+        sub.detach()
+        after = bus.engine.shortlist(msg.selector)
+        assert after.keys is not None and sub not in after.keys
+        assert bus.publish(msg).delivered == 0
+
     def test_detach_during_other_subscriptions(self, bus):
         got = []
         _, sub1 = attach(bus, "a", got)
