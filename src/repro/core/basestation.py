@@ -161,7 +161,9 @@ class BaseStation:
         import zlib
 
         self._wpacketizer = RtpPacketizer(zlib.crc32(f"{name}:bs".encode()) & 0xFFFFFFFF)
-        self._wreassembler = RtpReassembler(self._on_wireless_payload)
+        self._wreassembler = RtpReassembler(
+            self._on_wireless_payload, clock=lambda: network.scheduler.clock.now
+        )
 
         self.attachments: dict[str, Attachment] = {}
         #: undecodable uplink payloads dropped (codec guard, EXC001)

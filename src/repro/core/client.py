@@ -132,6 +132,10 @@ class WiredClient:
         self.snmp_host = snmp_host if snmp_host is not None else name
         #: optional aggregated poller (see :meth:`enable_network_monitoring`)
         self.netstate = None
+        #: how long (virtual seconds) SNMP may stay unreachable before
+        #: adaptation decisions fall back to the conservative floor
+        self.stale_grace = 3.0
+        self._dark_since: Optional[float] = None
 
         # session observability
         self.membership = Membership()
@@ -526,25 +530,37 @@ class WiredClient:
 
         Returns the decision (also logged).  ``extra_observed`` lets the
         base-station / experiment layers inject network observations
-        (e.g. ``sir_db``) alongside the SNMP readings.
+        (e.g. ``sir_db``) alongside the SNMP readings.  When SNMP has
+        been unreachable for longer than :attr:`stale_grace` virtual
+        seconds the engine is told the plane is degraded and decides
+        conservatively (see :meth:`PolicyDatabase.decide_packets`).
         """
         from ..snmp.errors import SnmpError
 
+        now = self.scheduler.clock.now
         try:
             if self.netstate is not None:
                 observed = self.netstate.poll()
             else:
                 observed = self.read_system_state()
+                self._dark_since = None
             self._last_observed = dict(observed)
         except SnmpError:
             # management plane unreachable: adapt on the last known state
             # (conservative — a degraded network usually means degraded
             # hosts too, and stale caution beats no decision at all)
             self.snmp_failures = getattr(self, "snmp_failures", 0) + 1
+            if getattr(self, "_dark_since", None) is None:
+                self._dark_since = now
             observed = dict(getattr(self, "_last_observed", {}))
+        if self.netstate is not None:
+            degraded = self.netstate.degraded
+        else:
+            dark_since = getattr(self, "_dark_since", None)
+            degraded = dark_since is not None and now - dark_since > self.stale_grace
         if extra_observed:
             observed.update(extra_observed)
-        decision = self.engine.infer(self.profile, observed)
+        decision = self.engine.infer(self.profile, observed, degraded=degraded)
         self.viewer.set_packet_budget(decision.packets)
         self.last_decision = decision
         self.decision_log.append((self.scheduler.clock.now, decision))

@@ -100,18 +100,24 @@ class InferenceEngine:
         self,
         profile: ClientProfile,
         observed: dict[str, float],
+        degraded: bool = False,
     ) -> AdaptationDecision:
         """Produce a decision from the current profile and system state.
 
         ``observed`` holds system/network parameters (``page_faults``,
         ``cpu_load``, ``bandwidth_bps``, ``sir_db``, ...); the profile
         contributes the user's modality preference and device class.
+        ``degraded`` signals that the management plane has been dark
+        beyond its stale grace — the policy database then caps the
+        decision at its conservative floor instead of assuming health.
         """
         self.decisions_made += 1
         reasons: list[str] = []
+        if degraded:
+            reasons.append("management plane dark; conservative fallback")
 
         # -- packet budget from system-state policies ---------------------
-        policy_packets = self.policies.decide_packets(observed)
+        policy_packets = self.policies.decide_packets(observed, degraded=degraded)
         if policy_packets is None:
             packets = self.max_packets
             reasons.append("no packet policy applicable; full budget")
@@ -123,7 +129,7 @@ class InferenceEngine:
         # -- wireless tier ------------------------------------------------
         tier = ModalityTier.FULL_IMAGE
         if "sir_db" in observed:
-            tier = self.policies.decide_tier(observed["sir_db"])
+            tier = self.policies.decide_tier(observed["sir_db"], degraded=degraded)
             reasons.append(f"sir {observed['sir_db']:.1f} dB -> tier {tier.name}")
             if tier is ModalityTier.NOTHING:
                 packets = 0

@@ -12,10 +12,14 @@ Standard probes cover the host extension agent (CPU, page faults, free
 memory, access-link metrics) and the LAN switch's ifTable (link speed →
 available bandwidth).
 
-Failure semantics: a probe whose agent times out contributes nothing
-this cycle (the engine then runs on the remaining observations), and the
-failure is counted — adaptation degrades gracefully when the management
-plane itself is degraded.
+Failure semantics: a probe whose agent times out serves its *last known
+value* for up to ``stale_grace`` virtual seconds (marked in
+``stale_parameters``); past the grace window the parameter drops out of
+the observed dict and the engine runs on whatever remains.  When *every*
+probe has gone dark the interface reports :attr:`~NetworkStateInterface.is_dark`
+so the inference layer can fall back to its conservative tier —
+adaptation degrades gracefully when the management plane itself is
+degraded.
 """
 
 from __future__ import annotations
@@ -78,6 +82,7 @@ class NetworkStateInterface:
         community: str = "public",
         timeout: float = 0.5,
         retries: int = 1,
+        stale_grace: float = 3.0,
     ) -> None:
         self.network = network
         self.manager = SnmpManager(
@@ -88,9 +93,19 @@ class NetworkStateInterface:
             retries=retries,
         )
         self.probes: list[Probe] = []
+        #: how long (virtual seconds) a failed probe may serve its last
+        #: known value before the parameter goes dark
+        self.stale_grace = stale_grace
         self.poll_count = 0
         self.probe_failures = 0
+        self.stale_served = 0
         self.last_observed: dict[str, float] = {}
+        #: parameters served from cache on the most recent poll
+        self.stale_parameters: set[str] = set()
+        #: virtual time each parameter was last freshly observed
+        self._last_fresh: dict[str, float] = {}
+        #: set when a poll yields no fresh observation at all
+        self.dark_since: Optional[float] = None
 
     # ------------------------------------------------------------------
     # probe registration
@@ -135,13 +150,19 @@ class NetworkStateInterface:
     # polling
     # ------------------------------------------------------------------
     def poll(self) -> dict[str, float]:
-        """Query every probe; skip (and count) failures.
+        """Query every probe; failed probes serve stale values in grace.
 
         Probes against the same host are batched into a single GET —
-        one round trip per agent per cycle.
+        one round trip per agent per cycle.  A probe that fails serves
+        its last known value for up to :attr:`stale_grace` virtual
+        seconds (and lands in :attr:`stale_parameters`); beyond that the
+        parameter drops out.  Failures are counted either way.
         """
         self.poll_count += 1
+        now = self.network.scheduler.clock.now
         observed: dict[str, float] = {}
+        fresh_any = False
+        self.stale_parameters = set()
         by_host: dict[str, list[Probe]] = {}
         for p in self.probes:
             by_host.setdefault(p.host, []).append(p)
@@ -150,6 +171,8 @@ class NetworkStateInterface:
                 results = self.manager.get(host, [p.oid for p in probes])
             except SnmpError:
                 self.probe_failures += len(probes)
+                for p in probes:
+                    self._serve_stale(p.parameter, now, observed)
                 continue
             values = {oid: v for oid, v in results}
             for p in probes:
@@ -157,8 +180,46 @@ class NetworkStateInterface:
                     observed[p.parameter] = p.transform(values[p.oid])
                 except (KeyError, SnmpError):
                     self.probe_failures += 1
+                    self._serve_stale(p.parameter, now, observed)
+                else:
+                    self._last_fresh[p.parameter] = now
+                    fresh_any = True
+        if fresh_any or not self.probes:
+            self.dark_since = None
+        elif self.dark_since is None:
+            self.dark_since = now
         self.last_observed = observed
         return observed
+
+    def _serve_stale(self, parameter: str, now: float, observed: dict[str, float]) -> None:
+        """Reuse the last fresh value of ``parameter`` while in grace."""
+        last = self._last_fresh.get(parameter)
+        if last is None or now - last > self.stale_grace:
+            return
+        if parameter in self.last_observed:
+            observed[parameter] = self.last_observed[parameter]
+            self.stale_parameters.add(parameter)
+            self.stale_served += 1
+
+    # ------------------------------------------------------------------
+    # degradation surface
+    # ------------------------------------------------------------------
+    @property
+    def is_dark(self) -> bool:
+        """True when the most recent poll produced no fresh observation."""
+        return self.dark_since is not None
+
+    def dark_for(self) -> float:
+        """Virtual seconds since the management plane went dark (0 if lit)."""
+        if self.dark_since is None:
+            return 0.0
+        return self.network.scheduler.clock.now - self.dark_since
+
+    @property
+    def degraded(self) -> bool:
+        """Dark for longer than the grace window: stale values are gone
+        and the inference layer should fall back conservatively."""
+        return self.dark_for() > self.stale_grace
 
     def close(self) -> None:
         """Release the underlying manager socket."""

@@ -189,10 +189,21 @@ class PolicyDatabase:
     never changed — a diagnosable policy still registers.
     """
 
-    def __init__(self, validate: bool = False) -> None:
+    def __init__(
+        self,
+        validate: bool = False,
+        conservative_packets: int = 1,
+        conservative_tier: ModalityTier = ModalityTier.TEXT_ONLY,
+    ) -> None:
         self._step: dict[str, StepPolicy] = {}
         self._sir: SirTierPolicy = default_sir_tier_policy()
         self.validate = validate
+        if conservative_packets < 0:
+            raise PolicyError("conservative_packets must be non-negative")
+        #: ceilings applied when the management plane is dark (see
+        #: ``degraded=`` on :meth:`decide_packets` / :meth:`decide_tier`)
+        self.conservative_packets = conservative_packets
+        self.conservative_tier = conservative_tier
 
     def add_step(self, name: str, policy: StepPolicy) -> None:
         """Register/replace a step policy under ``name``."""
@@ -238,10 +249,16 @@ class PolicyDatabase:
     def step_policies(self) -> dict[str, StepPolicy]:
         return dict(self._step)
 
-    def decide_packets(self, observed: dict[str, float]) -> Optional[int]:
+    def decide_packets(
+        self, observed: dict[str, float], degraded: bool = False
+    ) -> Optional[int]:
         """Most-constrained packet budget from the applicable policies.
 
-        Returns None when no policy's input parameter was observed.
+        Returns None when no policy's input parameter was observed —
+        unless ``degraded`` is set (the system-state plane has gone dark
+        beyond its stale grace), in which case the budget is capped at
+        :attr:`conservative_packets`: unobservable hosts are assumed
+        loaded, not idle.
         """
         decisions = [
             p.decide(observed[p.parameter])
@@ -249,12 +266,22 @@ class PolicyDatabase:
             if p.output == "packets" and p.parameter in observed
         ]
         if not decisions:
-            return None
-        return int(min(decisions))
+            return self.conservative_packets if degraded else None
+        budget = int(min(decisions))
+        if degraded:
+            budget = min(budget, self.conservative_packets)
+        return budget
 
-    def decide_tier(self, sir_db: float) -> ModalityTier:
-        """Wireless tier for one client's SIR."""
-        return self._sir.tier(sir_db)
+    def decide_tier(self, sir_db: float, degraded: bool = False) -> ModalityTier:
+        """Wireless tier for one client's SIR.
+
+        With ``degraded`` set (channel state unobservable or ancient) the
+        tier is capped at :attr:`conservative_tier`.
+        """
+        tier = self._sir.tier(sir_db)
+        if degraded and tier > self.conservative_tier:
+            tier = self.conservative_tier
+        return tier
 
 
 def default_policy_database() -> PolicyDatabase:

@@ -57,7 +57,9 @@ class UnicastSemanticLink:
         ssrc = zlib.crc32(f"{host}:{self.sock.port}".encode()) & 0xFFFFFFFF
         self._packetizer = RtpPacketizer(ssrc)
         self._on_message = on_message
-        self._reassembler = RtpReassembler(self._on_payload)
+        self._reassembler = RtpReassembler(
+            self._on_payload, clock=lambda: network.scheduler.clock.now
+        )
         self.sent = 0
         #: undecodable fragments/payloads dropped at the codec boundary
         self.decode_failures = 0

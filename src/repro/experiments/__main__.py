@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import sys
 
+from .chaos import run_chaos
 from .fig6 import run_fig6
 from .fig7 import run_fig7
 from .fig8 import run_fig8, run_fig8_dataflow
@@ -22,6 +23,7 @@ _RUNNERS = {
     "fig8": lambda: [run_fig8(), run_fig8_dataflow()],
     "fig9": lambda: [run_fig9(), run_fig9_scaling()],
     "fig10": lambda: [run_fig10()],
+    "chaos": lambda: [run_chaos()],
 }
 
 

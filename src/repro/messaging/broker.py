@@ -15,6 +15,7 @@ construct the bus with ``indexed=False`` to force the linear path.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -90,17 +91,26 @@ class PublishResult:
 
 
 class Subscription:
-    """Handle returned by :meth:`SemanticBus.attach`; detach to leave."""
+    """Handle returned by :meth:`SemanticBus.attach`; detach to leave.
 
-    _seq_counter = 0
+    ``seq`` is the attach ordinal the owning bus allocated (under its
+    lock): it keeps indexed delivery order identical to the linear path.
+    A class-level counter would be shared by every bus in the process —
+    cross-bus interleavings and attach races would leak into it.
+    """
 
-    def __init__(self, bus: "SemanticBus", profile: ClientProfile, callback: Callable[[Delivery], None]) -> None:
+    def __init__(
+        self,
+        bus: "SemanticBus",
+        profile: ClientProfile,
+        callback: Callable[[Delivery], None],
+        seq: int,
+    ) -> None:
         self.bus = bus
         self.profile = profile
         self.callback = callback
         self.active = True
-        Subscription._seq_counter += 1
-        self._seq = Subscription._seq_counter  # attach order, for stable delivery order
+        self._seq = seq  # attach order, for stable delivery order
         # per-subscriber observability
         self.accepted = 0
         self.transformed = 0
@@ -162,15 +172,21 @@ class SemanticBus:
         self.engine: Optional[MatchingEngine] = MatchingEngine() if indexed else None
         self.published = 0
         self.validate_profiles = validate_profiles
+        # per-bus attach ordinal, allocated under the lock: two buses (or
+        # two threads attaching to one bus) never contend on shared state
+        self._seq_counter = 0
+        self._attach_lock = threading.Lock()
 
     def attach(self, profile: ClientProfile, callback: Callable[[Delivery], None]) -> Subscription:
         """Join the bus with a profile and a delivery callback."""
         if self.validate_profiles:
             self._warn_diagnosable(profile)
-        sub = Subscription(self, profile, callback)
-        self._subs.append(sub)
-        if self.engine is not None:
-            self.engine.add(sub, profile)
+        with self._attach_lock:
+            self._seq_counter += 1
+            sub = Subscription(self, profile, callback, self._seq_counter)
+            self._subs.append(sub)
+            if self.engine is not None:
+                self.engine.add(sub, profile)
         return sub
 
     @staticmethod
@@ -185,14 +201,15 @@ class SemanticBus:
 
     def _detach(self, sub: Subscription) -> None:
         """Remove a subscription; safe to call more than once."""
-        try:
-            self._subs.remove(sub)
-        except ValueError:
-            pass
-        else:
-            sub._frozen_rejected = sub.rejected  # stop tracking offers
-        if self.engine is not None:
-            self.engine.remove(sub)
+        with self._attach_lock:
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+            else:
+                sub._frozen_rejected = sub.rejected  # stop tracking offers
+            if self.engine is not None:
+                self.engine.remove(sub)
 
     @property
     def subscribers(self) -> int:

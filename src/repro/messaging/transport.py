@@ -24,6 +24,7 @@ Unicast is also supported (base station ↔ wireless client legs).
 from __future__ import annotations
 
 import socket as _socketlib
+import struct
 import zlib
 from typing import Callable, Optional, Protocol, runtime_checkable
 
@@ -34,7 +35,17 @@ from ..network.multicast import MulticastGroup, MulticastSocket
 from ..network.simnet import Network
 from .broker import Delivery
 from .message import SemanticMessage
-from .rtp import DEFAULT_MTU, RtpError, RtpPacketizer, RtpReassembler
+from .rtp import (
+    DEFAULT_MTU,
+    RetransmitBuffer,
+    RtpError,
+    RtpPacketizer,
+    RtpReassembler,
+    SelectiveRepeat,
+    decode_nack,
+    encode_nack,
+    is_nack,
+)
 from .serialization import WireError, decode_message, encode_message
 
 __all__ = [
@@ -240,6 +251,14 @@ class SemanticEndpoint:
         When true, rejected messages are also surfaced (``on_rejected``) —
         the base station uses this to interpret *on behalf of* its
         wireless clients.
+    nack:
+        Opt-in selective retransmission: the endpoint keeps recently sent
+        fragments in a :class:`~repro.messaging.rtp.RetransmitBuffer`,
+        answers peers' NACKs with unicast retransmits, and on each expiry
+        tick requests its own missing fragments from the last-seen source
+        address (paced by :class:`~repro.messaging.rtp.SelectiveRepeat`'s
+        bounded backoff).  Off by default: loss-free fabrics get zero
+        overhead.
     """
 
     def __init__(
@@ -253,6 +272,7 @@ class SemanticEndpoint:
         expire_interval: float = 0.5,
         on_rejected: Optional[Callable[[SemanticMessage], None]] = None,
         promiscuous: bool = False,
+        nack: bool = False,
     ) -> None:
         transport = SimTransport(network, host, group)
         self.network: Optional[Network] = network
@@ -265,6 +285,7 @@ class SemanticEndpoint:
             expire_interval=expire_interval,
             on_rejected=on_rejected,
             promiscuous=promiscuous,
+            nack=nack,
         )
 
     @classmethod
@@ -278,6 +299,7 @@ class SemanticEndpoint:
         expire_interval: float = 0.5,
         on_rejected: Optional[Callable[[SemanticMessage], None]] = None,
         promiscuous: bool = False,
+        nack: bool = False,
     ) -> "SemanticEndpoint":
         """Build an endpoint on any :class:`Transport` implementation.
 
@@ -296,6 +318,7 @@ class SemanticEndpoint:
             expire_interval=expire_interval,
             on_rejected=on_rejected,
             promiscuous=promiscuous,
+            nack=nack,
         )
         return self
 
@@ -309,6 +332,7 @@ class SemanticEndpoint:
         expire_interval: float,
         on_rejected: Optional[Callable[[SemanticMessage], None]],
         promiscuous: bool,
+        nack: bool = False,
     ) -> None:
         self._transport = transport
         self.profile = profile
@@ -320,11 +344,18 @@ class SemanticEndpoint:
         self.host = host
         ssrc = zlib.crc32(f"{host}:{port}".encode()) & 0xFFFFFFFF
         self._packetizer = RtpPacketizer(ssrc, mtu=mtu)
-        self._reassembler = RtpReassembler(self._on_payload)
+        self._reassembler = RtpReassembler(self._on_payload, clock=self._now)
+        self.nack_enabled = nack
+        self._retransmit: Optional[RetransmitBuffer] = RetransmitBuffer() if nack else None
+        self._repair: Optional[SelectiveRepeat] = SelectiveRepeat() if nack else None
+        #: last-seen unicast address per peer ssrc (NACK destination)
+        self._sources: dict[int, tuple[str, int]] = {}
         self.scheduler: Optional[Scheduler] = scheduler
         self._expire_interval = expire_interval
+        # the reassembler above always gets clock=self._now, so expire()
+        # cannot hit the no-time-source RtpError path from this callback
         self._expire_event = (
-            scheduler.call_after(expire_interval, self._expire_tick)
+            scheduler.call_after(expire_interval, self._expire_tick)  # repro: ignore[EXC002]
             if scheduler is not None
             else None
         )
@@ -336,6 +367,10 @@ class SemanticEndpoint:
         self.accepted_messages = 0
         #: undecodable fragments/payloads dropped at the codec boundary
         self.decode_failures = 0
+        # selective-retransmission observability (all zero when nack off)
+        self.nacks_sent = 0
+        self.nacks_received = 0
+        self.retransmitted_fragments = 0
 
     @property
     def transport(self) -> Transport:
@@ -361,6 +396,8 @@ class SemanticEndpoint:
             raise RuntimeError("endpoint is closed")
         wire = encode_message(message)
         fragments = self._packetizer.packetize(wire)
+        if self._retransmit is not None:
+            self._retransmit.store(fragments)
         for frag in fragments:
             self._transport.send(frag.encode())
         self.sent_messages += 1
@@ -373,6 +410,8 @@ class SemanticEndpoint:
             raise RuntimeError("endpoint is closed")
         wire = encode_message(message)
         fragments = self._packetizer.packetize(wire)
+        if self._retransmit is not None:
+            self._retransmit.store(fragments)
         for frag in fragments:
             self._transport.unicast(frag.encode(), dest)
         self.sent_messages += 1
@@ -386,12 +425,34 @@ class SemanticEndpoint:
         return self.scheduler.clock.now if self.scheduler is not None else 0.0
 
     def _on_datagram(self, data: bytes, src: tuple[str, int]) -> None:
+        if is_nack(data):
+            self._on_nack(data, src)
+            return
+        if self.nack_enabled and len(data) >= 4:
+            # remember where this source's traffic comes from so our own
+            # NACKs have a unicast destination
+            self._sources[struct.unpack_from(">I", data)[0]] = src
         try:
             self._reassembler.ingest(data, now=self._now())
         except RtpError:
             # a malformed fragment from the wire must not kill the loop
             self.decode_failures += 1
             self._warn_decode("dropped an undecodable RTP fragment")
+
+    def _on_nack(self, data: bytes, src: tuple[str, int]) -> None:
+        """Answer a peer's retransmission request from the send buffer."""
+        try:
+            ssrc, msg_seq, indices = decode_nack(data)
+        except RtpError:
+            self.decode_failures += 1
+            self._warn_decode("dropped an undecodable NACK")
+            return
+        if self._retransmit is None or ssrc != self.ssrc:
+            return  # not ours to answer (or repair disabled locally)
+        self.nacks_received += 1
+        for pkt in self._retransmit.fragments(msg_seq, indices):
+            self._transport.unicast(pkt.encode(), src)
+            self.retransmitted_fragments += 1
 
     def _on_payload(self, ssrc: int, payload: bytes) -> None:
         try:
@@ -416,14 +477,37 @@ class SemanticEndpoint:
 
         warnings.warn(f"endpoint {self.host}: {what}", DiagnosticWarning, stacklevel=3)
 
+    def _repair_tick(self) -> None:
+        """NACK every due hole toward its source's last-seen address."""
+        if self._repair is None:
+            return
+        now = self._now()
+        live: set[tuple[int, int]] = set()
+        for ssrc, addr in self._sources.items():
+            pending = self._reassembler.pending(ssrc)
+            live.update((ssrc, msg_seq) for msg_seq, _ in pending)
+            for msg_seq, missing in self._repair.due(ssrc, pending, now):
+                self._transport.unicast(encode_nack(ssrc, msg_seq, missing), addr)
+                self.nacks_sent += 1
+        self._repair.prune(live)
+
     def _expire_tick(self) -> None:
         if self._closed or self.scheduler is None:
             return
+        self._repair_tick()
         self._reassembler.expire()
-        self._expire_event = self.scheduler.call_after(self._expire_interval, self._expire_tick)
+        self._expire_event = self.scheduler.call_after(  # repro: ignore[EXC002]
+            self._expire_interval, self._expire_tick
+        )
 
     def expire(self) -> int:
-        """Manually abandon stale partial messages (schedulerless runs)."""
+        """Manually abandon stale partial messages (schedulerless runs).
+
+        Runs the NACK repair pass first when enabled, so a lossy
+        schedulerless run still gets selective retransmission by calling
+        this periodically.
+        """
+        self._repair_tick()
         return self._reassembler.expire()
 
     # ------------------------------------------------------------------

@@ -8,6 +8,18 @@ from .clock import Event, Scheduler, SimClock, SimulationError
 from .simnet import Address, Link, Network, NetworkError, Node, Packet
 from .udp import DatagramSocket
 from .multicast import MulticastGroup, MulticastSocket
+from .faults import (
+    AgentCrash,
+    BurstLoss,
+    ChaosController,
+    Duplication,
+    FaultPlan,
+    FaultPlanError,
+    LatencySpike,
+    LinkFlap,
+    Partition,
+    Reordering,
+)
 
 __all__ = [
     "Event",
@@ -23,4 +35,14 @@ __all__ = [
     "DatagramSocket",
     "MulticastGroup",
     "MulticastSocket",
+    "AgentCrash",
+    "BurstLoss",
+    "ChaosController",
+    "Duplication",
+    "FaultPlan",
+    "FaultPlanError",
+    "LatencySpike",
+    "LinkFlap",
+    "Partition",
+    "Reordering",
 ]

@@ -89,6 +89,9 @@ class Link:
             raise NetworkError("latency and jitter must be non-negative")
         if not (0.0 <= self.loss < 1.0):
             raise NetworkError("loss must be in [0, 1)")
+        #: administrative state; a down link carries nothing and is
+        #: invisible to routing (see :meth:`Network.set_link_up`)
+        self.up: bool = True
         # Cumulative counters, exported through the SNMP host agent.
         self.tx_octets: int = 0
         self.rx_octets: int = 0
@@ -195,6 +198,22 @@ class Network:
         self._links: dict[frozenset, Link] = {}
         self._adj: dict[Address, set[Address]] = {}
         self._route_cache: dict[tuple[Address, Address], Optional[list[Link]]] = {}
+        #: optional fault hook (see :mod:`repro.network.faults`): called as
+        #: ``interceptor(packet, path, t)`` for every packet that survived
+        #: routing and loss, returning the list of delivery times — ``[t]``
+        #: to deliver normally, ``[]`` to drop, two entries to duplicate.
+        self.delivery_interceptor: Optional[
+            Callable[[Packet, list[Link], float], list[float]]
+        ] = None
+        # Per-packet disposition counters: every send() ends in exactly
+        # one of delivered / dropped / duplicated (delivered-more-than-once),
+        # so sent == delivered + dropped + duplicated always holds.
+        self.packets_sent: int = 0
+        self.packets_delivered: int = 0
+        self.packets_dropped: int = 0
+        self.packets_duplicated: int = 0
+        #: total delivery copies scheduled (>= packets_delivered)
+        self.copies_delivered: int = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -234,6 +253,19 @@ class Network:
         self._adj[a].discard(b)
         self._adj[b].discard(a)
         self._route_cache.clear()
+
+    def set_link_up(self, a: Address, b: Address, up: bool) -> Link:
+        """Administratively flap a link without losing its counters.
+
+        A down link is skipped by routing (traffic reroutes if the graph
+        allows, otherwise sends become unroutable drops).  Used by the
+        fault-injection layer for flaps and partitions; idempotent.
+        """
+        link = self.link(a, b)
+        if link.up != up:
+            link.up = up
+            self._route_cache.clear()
+        return link
 
     def node(self, name: Address) -> Node:
         """Look up a node by name."""
@@ -287,7 +319,10 @@ class Network:
             if u == dst:
                 break
             for v in sorted(self._adj[u]):
-                w = self._links[frozenset((u, v))].latency
+                edge = self._links[frozenset((u, v))]
+                if not edge.up:
+                    continue
+                w = edge.latency
                 nd = d + w
                 if nd < dist.get(v, float("inf")):
                     dist[v] = nd
@@ -313,14 +348,19 @@ class Network:
         """Inject a datagram.
 
         Returns ``True`` if the packet was scheduled for delivery and
-        ``False`` if it was dropped en route (per-link loss) or unroutable.
-        Loss is decided at send time for simplicity; the delay of a dropped
-        packet is irrelevant to any observer.
+        ``False`` if it was dropped en route (per-link loss), dropped by
+        the fault layer, or unroutable.  Loss is decided at send time for
+        simplicity; the delay of a dropped packet is irrelevant to any
+        observer.
         """
+        self.packets_sent += 1
         path = self.route(packet.src, packet.dst)
         if path is None:
+            self.packets_dropped += 1
             return False
         if not path:  # self-delivery, still asynchronous
+            self.packets_delivered += 1
+            self.copies_delivered += 1
             self.scheduler.call_after(
                 0.0, self._nodes[packet.dst].deliver, packet
             )
@@ -332,12 +372,27 @@ class Network:
             p_loss = link.loss_fn(packet.size) if link.loss_fn is not None else link.loss
             if p_loss > 0.0 and self.rng.random() < p_loss:
                 link.dropped_packets += 1
+                self.packets_dropped += 1
                 return False
             t = link.enqueue(hop_src, t, packet.size, self.rng)
             link.rx_octets += packet.size
             hop_src = link.other(hop_src)
-        path[-1].delivered_packets += 1
-        self.scheduler.call_at(t, self._nodes[packet.dst].deliver, packet)
+        if self.delivery_interceptor is not None:
+            times = self.delivery_interceptor(packet, path, t)
+            if not times:
+                self.packets_dropped += 1
+                return False
+        else:
+            times = [t]
+        if len(times) == 1:
+            self.packets_delivered += 1
+        else:
+            self.packets_duplicated += 1
+        self.copies_delivered += len(times)
+        path[-1].delivered_packets += len(times)
+        deliver = self._nodes[packet.dst].deliver
+        for td in times:
+            self.scheduler.call_at(td, deliver, packet)
         return True
 
     def path_latency(self, src: Address, dst: Address) -> float:

@@ -87,13 +87,29 @@ class SnmpAgent:
         if self._sock.port is None:
             self._sock.bind(port)
         self._sock.on_receive = self._handle_datagram
+        #: lifecycle flag: a crashed agent keeps its port but answers
+        #: nothing (managers see pure timeouts, as with a hung daemon)
+        self.alive = True
         # observability counters (themselves exportable via the MIB)
         self.requests_served = 0
         self.auth_failures = 0
         self.decode_failures = 0
+        self.dropped_while_down = 0
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate an agent crash: stop servicing requests.  Idempotent."""
+        self.alive = False
+
+    def restart(self) -> None:
+        """Bring a crashed agent back up.  Idempotent."""
+        self.alive = True
 
     # ------------------------------------------------------------------
     def _handle_datagram(self, data: bytes, src: tuple[str, int]) -> None:
+        if not self.alive:
+            self.dropped_while_down += 1
+            return
         try:
             reply = self._process(data)
         except (BerError, SnmpProtocolError):

@@ -6,6 +6,7 @@ __all__ = [
     "ErrorStatus",
     "SnmpError",
     "SnmpTimeout",
+    "SnmpCircuitOpen",
     "SnmpProtocolError",
     "SnmpErrorResponse",
 ]
@@ -42,6 +43,26 @@ class SnmpError(RuntimeError):
 
 class SnmpTimeout(SnmpError):
     """The manager exhausted retries without a response."""
+
+
+class SnmpCircuitOpen(SnmpError):
+    """The per-agent circuit breaker is open: the request failed fast
+    without touching the wire.
+
+    Attributes
+    ----------
+    agent:
+        The (host, port) the breaker guards.
+    retry_at:
+        Virtual time at which the breaker will admit a half-open probe.
+    """
+
+    def __init__(self, agent: tuple[str, int], retry_at: float) -> None:
+        super().__init__(
+            f"circuit open for {agent}: failing fast until t={retry_at:.3f}"
+        )
+        self.agent = agent
+        self.retry_at = retry_at
 
 
 class SnmpProtocolError(SnmpError):

@@ -40,13 +40,83 @@ from .ber import (
     decode,
     encode,
 )
-from .errors import ErrorStatus, SnmpErrorResponse, SnmpProtocolError, SnmpTimeout
+from .errors import (
+    ErrorStatus,
+    SnmpCircuitOpen,
+    SnmpErrorResponse,
+    SnmpProtocolError,
+    SnmpTimeout,
+)
 from .oids import OID
 
-__all__ = ["SnmpManager", "VarBind"]
+__all__ = ["SnmpManager", "CircuitBreaker", "VarBind"]
 
 #: A (oid, value) result pair.
 VarBind = tuple[OID, object]
+
+
+def _wake() -> None:
+    """Sentinel scheduler event: exists only to advance the virtual clock."""
+
+
+class CircuitBreaker:
+    """Per-agent failure gate: closed → open → half-open → closed.
+
+    ``threshold`` consecutive request-level failures open the breaker for
+    ``cooldown`` virtual seconds, during which requests fail fast with
+    :class:`~repro.snmp.errors.SnmpCircuitOpen` (no wire traffic, no
+    timeout wait — polling a dark agent becomes cheap).  After the
+    cooldown one probe request is admitted (*half-open*): success closes
+    the breaker, another failure re-opens it for a doubled (capped)
+    cooldown.
+    """
+
+    __slots__ = (
+        "threshold", "cooldown", "max_cooldown",
+        "failures", "open_until", "half_open", "opens", "_current_cooldown",
+    )
+
+    def __init__(
+        self, threshold: int, cooldown: float, max_cooldown: float
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        self.failures = 0          # consecutive request-level failures
+        self.open_until = 0.0      # virtual time the open window closes
+        self.half_open = False     # a probe request is in flight
+        self.opens = 0             # times the breaker tripped
+        self._current_cooldown = cooldown
+
+    def admit(self, now: float) -> bool:
+        """Whether a request may hit the wire at virtual time ``now``."""
+        if self.failures < self.threshold and not self.half_open:
+            return True
+        if now >= self.open_until:
+            self.half_open = True  # one probe allowed through
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.half_open = False
+        self._current_cooldown = self.cooldown
+
+    def record_failure(self, now: float) -> None:
+        self.failures += 1
+        if self.half_open:
+            # the probe failed: back off harder
+            self._current_cooldown = min(self.max_cooldown, self._current_cooldown * 2.0)
+            self.half_open = False
+            self.open_until = now + self._current_cooldown
+            self.opens += 1
+        elif self.failures == self.threshold:
+            self.open_until = now + self._current_cooldown
+            self.opens += 1
+
+    @property
+    def is_open(self) -> bool:
+        return self.failures >= self.threshold
 
 
 class SnmpManager:
@@ -66,6 +136,22 @@ class SnmpManager:
     timeout / retries:
         Virtual-time seconds to wait per attempt, and attempts beyond the
         first before raising :class:`~repro.snmp.errors.SnmpTimeout`.
+    backoff_base / backoff_multiplier / backoff_max:
+        Exponential inter-attempt backoff: after the *k*-th failed attempt
+        the manager sleeps ``min(backoff_max, backoff_base *
+        backoff_multiplier**k)`` virtual seconds (plus deterministic
+        jitter) before retrying.  ``backoff_base=None`` defaults to
+        ``timeout / 2``; pass ``0.0`` for legacy back-to-back retries.
+    jitter_frac:
+        Jitter half-width as a fraction of the backoff delay.  The jitter
+        is a pure function of (request id, attempt), so runs replay
+        byte-identically while concurrent managers still decorrelate.
+    breaker_threshold / breaker_cooldown / breaker_max_cooldown:
+        Per-agent circuit breaker (see :class:`CircuitBreaker`):
+        ``breaker_threshold`` consecutive request failures open the
+        circuit for ``breaker_cooldown`` virtual seconds and requests
+        fail fast with :class:`~repro.snmp.errors.SnmpCircuitOpen`.
+        ``breaker_threshold=0`` disables the breaker.
     """
 
     def __init__(
@@ -76,6 +162,13 @@ class SnmpManager:
         timeout: float = 1.0,
         retries: int = 2,
         version: int = VERSION_2C,
+        backoff_base: Optional[float] = None,
+        backoff_multiplier: float = 2.0,
+        backoff_max: Optional[float] = None,
+        jitter_frac: float = 0.1,
+        breaker_threshold: int = 4,
+        breaker_cooldown: float = 5.0,
+        breaker_max_cooldown: float = 60.0,
     ) -> None:
         self._sock = socket
         if self._sock.port is None:
@@ -86,11 +179,23 @@ class SnmpManager:
         self.timeout = timeout
         self.retries = retries
         self.version = version
+        self.backoff_base = timeout / 2.0 if backoff_base is None else backoff_base
+        self.backoff_multiplier = backoff_multiplier
+        self.backoff_max = 8.0 * timeout if backoff_max is None else backoff_max
+        self.jitter_frac = jitter_frac
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.breaker_max_cooldown = breaker_max_cooldown
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
         self._next_request_id = 1
         self._responses: dict[int, TaggedPdu] = {}
         # observability
         self.requests_sent = 0
         self.timeouts = 0
+        self.fast_failures = 0
+        #: virtual-time send timestamp of each attempt of the most recent
+        #: request (regression surface for retry spacing)
+        self.last_attempt_times: list[float] = []
 
     # ------------------------------------------------------------------
     # wire handling
@@ -134,8 +239,16 @@ class SnmpManager:
         )
         wire = encode(message)
 
-        for _attempt in range(self.retries + 1):
+        breaker = self._breaker(agent)
+        now = self.scheduler.clock.now
+        if breaker is not None and not breaker.admit(now):
+            self.fast_failures += 1
+            raise SnmpCircuitOpen(agent, breaker.open_until)
+
+        self.last_attempt_times = []
+        for attempt in range(self.retries + 1):
             self.requests_sent += 1
+            self.last_attempt_times.append(self.scheduler.clock.now)
             self._sock.sendto(wire, agent)
             deadline = self.scheduler.clock.now + self.timeout
             # Pump the simulation until our response lands or time expires.
@@ -143,13 +256,72 @@ class SnmpManager:
                 if request_id in self._responses:
                     break
                 if not self.scheduler.step():
-                    break  # event queue drained: nothing more can arrive
+                    # Event queue drained: nothing can arrive before the
+                    # deadline, but retries must still be spaced in virtual
+                    # time — schedule a sentinel wake-up at the deadline so
+                    # the next step() advances the clock instead of burning
+                    # every attempt in the same instant.
+                    self.scheduler.call_at(deadline, _wake)
                 if self.scheduler.clock.now > deadline:
                     break
             if request_id in self._responses:
+                if breaker is not None:
+                    breaker.record_success()
                 return self._parse_response(self._responses.pop(request_id))
             self.timeouts += 1
+            if attempt < self.retries:
+                self._sleep(self._backoff_delay(request_id, attempt))
+        if breaker is not None:
+            breaker.record_failure(self.scheduler.clock.now)
         raise SnmpTimeout(f"no response from {agent} after {self.retries + 1} attempts")
+
+    # ------------------------------------------------------------------
+    # retry/backoff machinery
+    # ------------------------------------------------------------------
+    def _breaker(self, agent: tuple[str, int]) -> Optional[CircuitBreaker]:
+        if self.breaker_threshold <= 0:
+            return None
+        breaker = self._breakers.get(agent)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.breaker_threshold, self.breaker_cooldown, self.breaker_max_cooldown
+            )
+            self._breakers[agent] = breaker
+        return breaker
+
+    def breaker_state(self, host: str, port: int = SNMP_PORT) -> str:
+        """Observability: 'closed', 'open', or 'half-open' for one agent."""
+        breaker = self._breakers.get((host, port))
+        if breaker is None or not breaker.is_open:
+            return "closed"
+        return "half-open" if self.scheduler.clock.now >= breaker.open_until else "open"
+
+    def _backoff_delay(self, request_id: int, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter.
+
+        The jitter factor is a hash of (request id, attempt) mapped into
+        ``1 ± jitter_frac`` — reproducible across replays of the same run
+        without any shared RNG state.
+        """
+        if self.backoff_base <= 0.0:
+            return 0.0
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** attempt,
+        )
+        if self.jitter_frac > 0.0:
+            h = (request_id * 2654435761 + attempt * 40503) % 10_000
+            delay *= 1.0 + self.jitter_frac * (h / 5_000.0 - 1.0)
+        return delay
+
+    def _sleep(self, duration: float) -> None:
+        """Pump the scheduler for ``duration`` virtual seconds."""
+        if duration <= 0.0:
+            return
+        resume = self.scheduler.clock.now + duration
+        while self.scheduler.clock.now < resume:
+            if not self.scheduler.step():
+                self.scheduler.call_at(resume, _wake)
 
     @staticmethod
     def _parse_response(pdu: TaggedPdu) -> list[VarBind]:

@@ -109,6 +109,88 @@ class TestNetworkStateInterface:
         assert ns.last_observed["cpu_load"] == 40.0
 
 
+class TestGracefulDegradation:
+    """Stale-state grace and the dark-plane fallback (paper Sec. 5.5)."""
+
+    def build(self, fw, stale_grace=3.0):
+        ns = NetworkStateInterface(
+            fw.network, "alice", timeout=0.1, retries=0, stale_grace=stale_grace
+        )
+        ns.add_standard_host_probes("alice")
+        return ns
+
+    def test_stale_values_served_within_grace(self, fw):
+        ns = self.build(fw)
+        assert ns.poll()["cpu_load"] == 40.0
+        fw.agents["alice"].crash()
+        observed = ns.poll()  # timeout advances the clock ~0.1 s
+        assert observed["cpu_load"] == 40.0  # served from cache
+        assert "cpu_load" in ns.stale_parameters
+        assert ns.stale_served >= 1
+        assert ns.is_dark and ns.dark_for() > 0.0
+        assert not ns.degraded  # still inside the grace window
+
+    def test_values_drop_and_degraded_past_grace(self, fw):
+        ns = self.build(fw, stale_grace=0.5)
+        ns.poll()
+        fw.agents["alice"].crash()
+        ns.poll()
+        fw.run_for(1.0)  # let the dark window outgrow the grace
+        observed = ns.poll()
+        assert "cpu_load" not in observed
+        assert ns.degraded
+
+    def test_restart_clears_dark(self, fw):
+        ns = self.build(fw)
+        ns.poll()
+        fw.agents["alice"].crash()
+        ns.poll()
+        assert ns.is_dark
+        fw.agents["alice"].restart()
+        observed = ns.poll()
+        assert observed["cpu_load"] == 40.0
+        assert not ns.is_dark
+        assert ns.dark_for() == 0.0
+        assert not ns.degraded
+
+
+class TestDegradedPolicies:
+    """The conservative floor applied when the management plane is dark."""
+
+    def test_decide_packets_caps_at_conservative(self):
+        from repro.core.policies import default_policy_database
+
+        db = default_policy_database()
+        # calm host: normally a generous budget...
+        assert db.decide_packets({"cpu_load": 20.0}) > 1
+        # ...but capped once degraded
+        assert db.decide_packets({"cpu_load": 20.0}, degraded=True) == 1
+        # nothing observed at all: None normally, the floor when degraded
+        assert db.decide_packets({}) is None
+        assert db.decide_packets({}, degraded=True) == 1
+
+    def test_decide_tier_caps_at_conservative(self):
+        from repro.core.policies import ModalityTier, default_policy_database
+
+        db = default_policy_database()
+        assert db.decide_tier(30.0) > ModalityTier.TEXT_ONLY
+        assert db.decide_tier(30.0, degraded=True) == ModalityTier.TEXT_ONLY
+
+    def test_inference_records_fallback_reason(self, fw):
+        from repro.core.inference import InferenceEngine
+        from repro.core.policies import default_policy_database
+        from repro.core.profiles import ClientProfile
+
+        engine = InferenceEngine(default_policy_database())
+        decision = engine.infer(
+            ClientProfile("c", {"role": "participant"}),
+            {"cpu_load": 20.0},
+            degraded=True,
+        )
+        assert decision.packets == 1
+        assert any("conservative fallback" in r for r in decision.reasons)
+
+
 class TestBandwidthPolicy:
     def test_starved_link_cuts_packets(self):
         p = default_bandwidth_policy()

@@ -1,0 +1,73 @@
+"""Regression suite for the seeded chaos drill.
+
+Pins the two properties the fault-injection subsystem promises: the
+packet-disposition conservation invariant, and byte-identical replay of
+a full collaboration session under the same seed.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.chaos import (
+    DURATION,
+    chaos_telemetry,
+    default_chaos_plan,
+    run_chaos,
+)
+
+
+class TestChaosDrill:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_chaos(seed=0)
+
+    def test_plan_covers_every_fault_family(self):
+        kinds = {type(e).__name__ for e in default_chaos_plan().events}
+        assert kinds == {
+            "LinkFlap",
+            "BurstLoss",
+            "Partition",
+            "AgentCrash",
+            "LatencySpike",
+            "Duplication",
+            "Reordering",
+        }
+        assert default_chaos_plan().horizon <= DURATION
+
+    def test_conservation_noted(self, result):
+        assert any("conserved=True" in note for note in result.notes)
+
+    def test_all_peers_reported(self, result):
+        assert result.column("peer") == ["alice", "bob", "carol"]
+
+    def test_session_survives_the_faults(self, result):
+        # receivers still accept traffic despite the fault windows
+        assert all(r > 0 for r in result.column("received"))
+        # adaptation loops kept deciding through the darkness
+        assert all(d > 0 for d in result.column("decisions"))
+
+    def test_faults_actually_bite(self, result):
+        # the crashed agent forces SNMP failures and fast-fails on bob
+        by_peer = dict(zip(result.column("peer"), result.column("snmp_failures")))
+        assert by_peer["bob"] > 0
+
+
+class TestChaosDeterminism:
+    def test_same_seed_byte_identical_telemetry(self):
+        assert chaos_telemetry(seed=0) == chaos_telemetry(seed=0)
+
+    def test_different_seed_different_telemetry(self):
+        assert chaos_telemetry(seed=0) != chaos_telemetry(seed=1)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 2**16 - 1))
+    def test_replay_property_short_horizon(self, seed):
+        """Any seed replays byte-identically (shorter run for speed)."""
+        assert chaos_telemetry(seed=seed, duration=8.0) == chaos_telemetry(
+            seed=seed, duration=8.0
+        )
+
+    def test_telemetry_reports_all_sections(self):
+        blob = chaos_telemetry(seed=0)
+        for marker in ("network: sent=", "chaos: ", "breakers: "):
+            assert marker in blob

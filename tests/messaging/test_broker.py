@@ -213,3 +213,54 @@ class TestPublishResult:
         assert res.candidates_checked == 2
         assert res.delivered == 1
         assert res.rejected == 1
+
+
+class TestAttachOrdinals:
+    """Regression: ``Subscription`` used a *class-level* seq counter, so
+    attaches on independent buses (or racing threads) interleaved their
+    ordinals.  The counter now lives on each bus, under a lock."""
+
+    def test_independent_buses_get_independent_seqs(self):
+        a, b = SemanticBus(), SemanticBus()
+        _, sub_a1 = attach(a, "a1", [])
+        _, sub_b1 = attach(b, "b1", [])
+        _, sub_a2 = attach(a, "a2", [])
+        assert (sub_a1._seq, sub_a2._seq) == (1, 2)
+        assert sub_b1._seq == 1  # bus b starts its own count
+
+    def test_threaded_attach_ordinals_unique(self, bus):
+        import threading
+
+        subs = []
+        lock = threading.Lock()
+
+        def worker():
+            for i in range(50):
+                sub = bus.attach(ClientProfile(f"p{i}", {}), lambda d: None)
+                with lock:
+                    subs.append(sub)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [s._seq for s in subs]
+        assert len(set(seqs)) == len(seqs) == 400
+        assert sorted(seqs) == list(range(1, 401))
+
+    def test_delivery_order_follows_attach_order(self, bus):
+        got = []
+        for name in ("first", "second", "third"):
+            attach(bus, name, got, attrs={"role": "medic"})
+        bus.publish(SemanticMessage.create("hq", "role == 'medic'"))
+        assert [name for name, _ in got] == ["first", "second", "third"]
+
+    def test_detach_does_not_disturb_ordering(self, bus):
+        got = []
+        attach(bus, "first", got)
+        _, sub = attach(bus, "second", got)
+        attach(bus, "third", got)
+        sub.detach()
+        bus.publish(SemanticMessage.create("hq", "true"))
+        assert [name for name, _ in got] == ["first", "third"]

@@ -18,7 +18,9 @@ def pipe(mtu=200):
     """A packetizer feeding a reassembler; returns (pktzr, reasm, out)."""
     out = []
     packetizer = RtpPacketizer(ssrc=7, mtu=mtu)
-    reassembler = RtpReassembler(lambda ssrc, payload: out.append((ssrc, payload)))
+    reassembler = RtpReassembler(
+        lambda ssrc, payload: out.append((ssrc, payload)), clock=lambda: 0.0
+    )
     return packetizer, reassembler, out
 
 
@@ -124,7 +126,7 @@ class TestReassembly:
 
     def test_two_sources_independent(self):
         out = []
-        r = RtpReassembler(lambda ssrc, payload: out.append(ssrc))
+        r = RtpReassembler(lambda ssrc, payload: out.append(ssrc), clock=lambda: 0.0)
         pa = RtpPacketizer(ssrc=1, mtu=100)
         pb = RtpPacketizer(ssrc=2, mtu=100)
         for f in pa.packetize(b"a" * 150) + pb.packetize(b"b" * 150):
@@ -155,6 +157,7 @@ class TestLossAccounting:
             lambda s, payload: None,
             on_gap=lambda s, mseq, missing: gaps.append((mseq, tuple(missing))),
             reorder_window=2,
+            clock=lambda: 0.0,
         )
         incomplete = p.packetize(bytes(500))
         r.ingest(incomplete[0].encode())  # fragment 0 only of msg 0
