@@ -1,0 +1,172 @@
+"""Perf trajectory: broker throughput snapshot + regression gate.
+
+Runs a fixed, seedless-deterministic broker workload and writes the
+numbers to ``BENCH_broker.json`` at the repo root.  The file is
+committed, so the repo carries its own performance trajectory; CI
+re-measures and fails when the tree got more than ``THRESHOLD``× slower
+than the committed snapshot (or when any deterministic work counter —
+delivery counts, interpreter runs, shard skips — changed at all, which
+means dispatch *semantics* drifted, not just speed).
+
+Usage::
+
+    python benchmarks/perf_trajectory.py            # refresh the snapshot
+    python benchmarks/perf_trajectory.py --check    # CI gate vs the snapshot
+
+Timing metrics are throughput rates (higher is better) and the gate is
+deliberately loose (2×): CI machines vary, trajectories only need to
+catch order-of-magnitude regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "BENCH_broker.json"
+
+#: a timing metric may degrade to 1/THRESHOLD of the snapshot before CI fails
+THRESHOLD = 2.0
+
+ATTACH_SUBS = 40_000
+BATCH_SUBS = 12_000
+BATCH_MSGS = 2_000
+PLAIN_SUBS = 2_000
+PLAIN_MSGS = 200
+
+ROLES = ("medic", "scout", "engineer", "observer")
+
+
+def _profiles(n):
+    from repro.core.profiles import ClientProfile
+
+    out = []
+    for i in range(n):
+        attrs = {"role": ROLES[i % 4], "cell": f"c{i % (n // 10 or 1)}"}
+        if i % 3 == 0:
+            attrs["tier"] = i % 5
+        out.append(ClientProfile(f"s{i}", attrs))
+    return out
+
+
+def _batch(n):
+    from repro.messaging.message import SemanticMessage
+
+    return [
+        SemanticMessage.create(
+            "hq",
+            f"cell == 'c{(i * 97) % (BATCH_SUBS // 10)}' and role == '{ROLES[i % 4]}'",
+            kind="bench",
+        )
+        for i in range(n)
+    ]
+
+
+def collect() -> dict:
+    """One deterministic workload pass; returns the metric dict."""
+    from repro.messaging.broker import SemanticBus
+    from repro.messaging.sharded import ShardedSemanticBus
+
+    sink = lambda d: None  # noqa: E731
+    metrics: dict[str, float] = {}
+
+    # -- attach throughput on the sharded backend ----------------------
+    bus = ShardedSemanticBus(shards=8)
+    profiles = _profiles(ATTACH_SUBS)
+    t0 = time.perf_counter()
+    for p in profiles:
+        bus.attach(p, sink)
+    metrics["sharded_attach_per_s"] = ATTACH_SUBS / (time.perf_counter() - t0)
+
+    # -- batch publish throughput on the sharded backend ---------------
+    bus = ShardedSemanticBus(shards=8)
+    for p in _profiles(BATCH_SUBS):
+        bus.attach(p, sink)
+    batch = _batch(BATCH_MSGS)
+    t0 = time.perf_counter()
+    out = bus.publish_many(batch)
+    metrics["sharded_publish_many_msgs_per_s"] = BATCH_MSGS / (
+        time.perf_counter() - t0
+    )
+    metrics["sharded_delivered"] = out.delivered
+    metrics["sharded_checked"] = out.candidates_checked
+
+    # -- single-message publish on the plain indexed bus ---------------
+    bus = SemanticBus()
+    for p in _profiles(PLAIN_SUBS):
+        bus.attach(p, sink)
+    msgs = _batch(PLAIN_MSGS)
+    t0 = time.perf_counter()
+    delivered = sum(bus.publish(m).delivered for m in msgs)
+    metrics["bus_publish_per_s"] = PLAIN_MSGS / (time.perf_counter() - t0)
+    metrics["bus_delivered"] = delivered
+    return metrics
+
+
+#: metrics compared as throughput rates (2× tolerance)
+RATE_METRICS = (
+    "sharded_attach_per_s",
+    "sharded_publish_many_msgs_per_s",
+    "bus_publish_per_s",
+)
+#: metrics that must match the snapshot exactly (semantic drift gate)
+EXACT_METRICS = ("sharded_delivered", "sharded_checked", "bus_delivered")
+
+
+def check(baseline: dict, fresh: dict) -> list[str]:
+    """Compare a fresh run against the snapshot; returns failure strings."""
+    failures = []
+    base = baseline.get("metrics", {})
+    for name in RATE_METRICS:
+        if name not in base:
+            continue  # snapshot predates the metric
+        old, new = float(base[name]), float(fresh[name])
+        if new < old / THRESHOLD:
+            failures.append(
+                f"{name}: {new:.0f}/s is more than {THRESHOLD}x below "
+                f"the committed {old:.0f}/s"
+            )
+    for name in EXACT_METRICS:
+        if name not in base:
+            continue
+        if int(base[name]) != int(fresh[name]):
+            failures.append(
+                f"{name}: {int(fresh[name])} != committed {int(base[name])} "
+                f"(deterministic workload changed meaning)"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    fresh = collect()
+    if "--check" in argv:
+        if not SNAPSHOT.exists():
+            print(f"no snapshot at {SNAPSHOT}; run without --check to create it")
+            return 1
+        baseline = json.loads(SNAPSHOT.read_text())
+        failures = check(baseline, fresh)
+        for name in RATE_METRICS + EXACT_METRICS:
+            committed = baseline.get("metrics", {}).get(name)
+            print(f"{name}: fresh={fresh[name]:.0f} committed={committed}")
+        if failures:
+            print("\nperf trajectory REGRESSED:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("\nperf trajectory ok")
+        return 0
+    SNAPSHOT.write_text(
+        json.dumps({"schema": 1, "metrics": fresh}, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {SNAPSHOT}")
+    for name, value in sorted(fresh.items()):
+        print(f"  {name}: {value:.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -547,19 +547,25 @@ class BaseStation:
         self.evaluate_qos()
         tier = self.attachments[sender].tier
         forwarded = self._gate_uplink(event, tier)
-        for fevent in forwarded:
-            # multicast to the wired session ...
-            out = SemanticMessage.create(
+        outs = [
+            SemanticMessage.create(
                 sender=sender,
                 selector=self.session.selector_text(),
                 headers=fevent.headers(),
                 body=fevent.to_body(),
                 kind=fevent.kind,
             )
-            try:
-                self.endpoint.publish(out)
-            except (RtpError, WireError):
-                # one oversized/unencodable uplink event must not abort delivery
+            for fevent in forwarded
+        ]
+        # multicast the batch to the wired session; a ``None`` slot marks
+        # an oversized/unencodable uplink event, which must not abort the
+        # rest of the batch (nor its own downlink fan-out suppression)
+        try:
+            sent = self.endpoint.publish_many(outs, suppress_errors=True)
+        except (RtpError, WireError):  # suppressed upstream; belt for the loop
+            sent = [None] * len(outs)
+        for fevent, fragments in zip(forwarded, sent):
+            if fragments is None:
                 self.forward_failures += 1
                 continue
             # ... and unicast to the other wireless clients per their tiers

@@ -320,19 +320,21 @@ class WiredClient:
         skip = {"history-request", "image-repair", "join", "leave"}
         wanted = set(request.kinds) if request.kinds else None
         target = f"client_id == '{request.client_id}'"
-        for _t, msg in self.archive.replay(since=request.since):
-            if msg.kind in skip or msg.sender == request.client_id:
-                continue
-            if wanted is not None and msg.kind not in wanted:
-                continue
-            replay = SemanticMessage.create(
+        selector = self.session.selector_text(target)
+        replays = [
+            SemanticMessage.create(
                 sender=self.name,
-                selector=self.session.selector_text(target),
+                selector=selector,
                 headers=dict(msg.headers),
                 body=msg.body,
                 kind=msg.kind,
             )
-            self.endpoint.publish(replay)
+            for _t, msg in self.archive.replay(since=request.since)
+            if msg.kind not in skip
+            and msg.sender != request.client_id
+            and (wanted is None or msg.kind in wanted)
+        ]
+        self.endpoint.publish_many(replays)
 
     def request_image_repair(self, image_id: str) -> tuple[int, ...]:
         """NACK the holes blocking an image's reconstruction.
@@ -361,6 +363,8 @@ class WiredClient:
             return
         packets = prog.packets()
         target = f"client_id == '{request.client_id}'"
+        selector = self.session.selector_text(target)
+        repairs: list[SemanticMessage] = []
         for idx in request.packet_indices:
             if 0 <= idx < len(packets):
                 event = ImagePacketEvent(
@@ -369,14 +373,16 @@ class WiredClient:
                     packet_total=packets[idx].total,
                     payload=packets[idx].to_bytes(),
                 )
-                msg = SemanticMessage.create(
-                    sender=self.name,
-                    selector=self.session.selector_text(target),
-                    headers=event.headers(),
-                    body=event.to_body(),
-                    kind=event.kind,
+                repairs.append(
+                    SemanticMessage.create(
+                        sender=self.name,
+                        selector=selector,
+                        headers=event.headers(),
+                        body=event.to_body(),
+                        kind=event.kind,
+                    )
                 )
-                self.endpoint.publish(msg)
+        self.endpoint.publish_many(repairs)
 
     # ------------------------------------------------------------------
     # distributed object locking (session-wide concurrency control)

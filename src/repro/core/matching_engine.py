@@ -286,6 +286,10 @@ class ProfileIndex:
                 if col2 is not None:
                     col2.discard(value, key)
 
+    def attributes(self) -> set[str]:
+        """Attribute names present on at least one indexed snapshot."""
+        return {attr for attr, keys in self._exists.items() if keys}
+
     # -- query ---------------------------------------------------------
     def satisfying(self, pred: Predicate) -> set[Hashable]:
         """All keys whose indexed snapshot satisfies ``pred``."""
@@ -393,6 +397,23 @@ class MatchingEngine:
                 self._index.add(key, profile.snapshot())
                 self.reindexes += 1
 
+    def flush(self) -> None:
+        """Re-index every profile that notified a change since the last
+        query.  Shortlists flush implicitly; callers that consult
+        :meth:`attribute_universe` *without* shortlisting (the sharded
+        broker's skip test) call this first."""
+        self._flush_dirty()
+
+    def attribute_universe(self) -> set[str]:
+        """Attribute names carried by at least one indexed profile.
+
+        A selector whose :func:`~repro.core.selectors.required_attributes`
+        are not all present here cannot match any profile this engine
+        indexes — sound only against the flushed index (see
+        :meth:`flush`).
+        """
+        return self._index.attributes()
+
     # -- shortlisting --------------------------------------------------
     def shortlist(self, selector: Selector | str) -> Shortlist:
         """Candidate keys for ``selector``.
@@ -426,3 +447,23 @@ class MatchingEngine:
         need = len(preds)
         self.indexed_publishes += 1
         return Shortlist({k for k, c in counts.items() if c == need}, True)
+
+    def shortlist_many(self, selectors: "list[Selector | str]") -> list[Shortlist]:
+        """Shortlists for a batch of selectors, amortizing shared work.
+
+        Dirty profiles are flushed once for the whole batch, and each
+        *distinct* selector is shortlisted exactly once — the batch
+        publish path hands every message's selector in and repeated
+        selectors (the common case in a message burst) cost one index
+        probe, not one per message.
+        """
+        self._flush_dirty()
+        memo: dict[str, Shortlist] = {}
+        out: list[Shortlist] = []
+        for selector in selectors:
+            sel = compile_selector(selector)
+            got = memo.get(sel.text)
+            if got is None:
+                got = memo[sel.text] = self.shortlist(sel)
+            out.append(got)
+        return out

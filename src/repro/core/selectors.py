@@ -45,6 +45,7 @@ __all__ = [
     "TRUE_SELECTOR",
     "Predicate",
     "decompose",
+    "required_attributes",
 ]
 
 
@@ -542,6 +543,52 @@ def decompose(selector: "Selector") -> Optional[tuple[Predicate, ...]]:
 
 
 # ----------------------------------------------------------------------
+# required attributes (feeds shard routing)
+# ----------------------------------------------------------------------
+def _required_attrs(node: Any) -> frozenset[str]:
+    """Attributes that must *exist* for ``node`` to possibly be true.
+
+    Sound under the language's missing-attribute semantics: every
+    comparison (including ``!=``), bare boolean attribute, and
+    ``exists`` is false when the attribute is absent, so any attribute
+    such a node references is required.  ``and`` unions its conjuncts'
+    requirements; ``or`` can only require what *every* branch requires
+    (intersection); ``not`` requires nothing (``not`` of a
+    missing-attribute clause is true).
+    """
+    if isinstance(node, _And):
+        out: frozenset[str] = frozenset()
+        for sub in node.operands:
+            out |= _required_attrs(sub)
+        return out
+    if isinstance(node, _Or):
+        branches = [_required_attrs(sub) for sub in node.operands]
+        common = branches[0]
+        for b in branches[1:]:
+            common &= b
+        return common
+    if isinstance(node, (_Not, _BoolLiteral, _Literal)):
+        return frozenset()
+    if isinstance(node, (_Exists, _BoolAttr)):
+        return frozenset((node.name,))
+    if isinstance(node, _Compare):
+        return frozenset(node.attributes())
+    return frozenset()  # pragma: no cover - exhaustive over _Node
+
+
+def required_attributes(selector: "Selector") -> frozenset[str]:
+    """Sound lower bound on the attributes a matching profile must have.
+
+    A profile lacking any returned attribute can never satisfy
+    ``selector`` — which is what lets the sharded broker skip whole
+    shards whose populations do not carry a required attribute at all.
+    Computed for *any* selector shape (disjunctions and negations
+    included), unlike :func:`decompose`.
+    """
+    return _required_attrs(selector._ast)
+
+
+# ----------------------------------------------------------------------
 # public surface
 # ----------------------------------------------------------------------
 class Selector:
@@ -556,7 +603,7 @@ class Selector:
     False
     """
 
-    __slots__ = ("text", "_ast", "_plan")
+    __slots__ = ("text", "_ast", "_plan", "_required")
 
     def __init__(self, text: str) -> None:
         self.text = text
@@ -575,6 +622,8 @@ class Selector:
             )
         #: lazily memoised result of :func:`decompose`
         self._plan: Optional[tuple[Predicate, ...]] | str = "unset"
+        #: lazily memoised result of :func:`required_attributes`
+        self._required: Optional[frozenset[str]] = None
 
     def matches(self, env: AttributeMap) -> bool:
         """Evaluate against an attribute map (profile or message headers)."""
@@ -589,6 +638,12 @@ class Selector:
         if isinstance(self._plan, str):
             self._plan = decompose(self)
         return self._plan
+
+    def required_attributes(self) -> frozenset[str]:
+        """Memoised :func:`required_attributes` of this selector."""
+        if self._required is None:
+            self._required = required_attributes(self)
+        return self._required
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Selector) and self._ast == other._ast

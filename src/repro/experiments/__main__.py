@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import sys
 
+from .broker_scale import run_broker_scale
 from .chaos import run_chaos
 from .fig6 import run_fig6
 from .fig7 import run_fig7
@@ -24,6 +25,7 @@ _RUNNERS = {
     "fig9": lambda: [run_fig9(), run_fig9_scaling()],
     "fig10": lambda: [run_fig10()],
     "chaos": lambda: [run_chaos()],
+    "broker": lambda: [run_broker_scale()],
 }
 
 

@@ -15,13 +15,17 @@ from .rtp import (
     RtpPacketizer,
     RtpReassembler,
 )
-from .broker import Delivery, PublishResult, SemanticBus, Subscription
+from .broker import BatchPublishResult, Delivery, PublishResult, SemanticBus, Subscription
+from .sharded import ShardedSemanticBus, ShardSubscription, SlowSubscriberPolicy
 from .transport import (
+    BrokerAPI,
+    BrokerLike,
     DatagramTransport,
     LoopbackUDP,
     SemanticEndpoint,
     SimTransport,
     Transport,
+    make_broker,
 )
 
 __all__ = [
@@ -39,8 +43,15 @@ __all__ = [
     "RtpReassembler",
     "Delivery",
     "PublishResult",
+    "BatchPublishResult",
     "SemanticBus",
     "Subscription",
+    "ShardedSemanticBus",
+    "ShardSubscription",
+    "SlowSubscriberPolicy",
+    "BrokerAPI",
+    "BrokerLike",
+    "make_broker",
     "Transport",
     "DatagramTransport",
     "SimTransport",

@@ -17,14 +17,20 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from ..core.matching import Decision, MatchResult, interpret
 from ..core.matching_engine import MatchingEngine
 from ..core.profiles import ClientProfile
 from .message import SemanticMessage
 
-__all__ = ["SemanticBus", "Delivery", "PublishResult", "Subscription"]
+__all__ = [
+    "SemanticBus",
+    "Delivery",
+    "PublishResult",
+    "BatchPublishResult",
+    "Subscription",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +94,58 @@ class PublishResult:
 
     def __hash__(self) -> int:
         return hash(self.delivered)
+
+
+@dataclass(frozen=True)
+class BatchPublishResult:
+    """Aggregated outcome of one :meth:`publish_many` call.
+
+    Wraps the per-message :class:`PublishResult`\\ s (in submission
+    order) and aggregates their counters, so callers write to one batch
+    API regardless of backend.  ``shed`` and ``detached_slow`` are zero
+    on the plain bus; backpressure-enforcing backends (the sharded
+    broker) report deliveries dropped / subscribers detached by their
+    :class:`~repro.messaging.sharded.SlowSubscriberPolicy` there.
+    """
+
+    results: tuple[PublishResult, ...]
+    shed: int = 0
+    detached_slow: int = 0
+
+    @property
+    def messages(self) -> int:
+        return len(self.results)
+
+    @property
+    def delivered(self) -> int:
+        return sum(r.delivered for r in self.results)
+
+    @property
+    def transformed(self) -> int:
+        return sum(r.transformed for r in self.results)
+
+    @property
+    def rejected(self) -> int:
+        return sum(r.rejected for r in self.results)
+
+    @property
+    def candidates_checked(self) -> int:
+        return sum(r.candidates_checked for r in self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[PublishResult]:
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> PublishResult:
+        return self.results[i]
+
+    def __int__(self) -> int:
+        return self.delivered
+
+    def __bool__(self) -> bool:
+        return self.delivered > 0
 
 
 class Subscription:
@@ -176,6 +234,9 @@ class SemanticBus:
         # two threads attaching to one bus) never contend on shared state
         self._seq_counter = 0
         self._attach_lock = threading.Lock()
+        # profile identity -> subscriptions, so sender-loopback exclusion
+        # is O(subs sharing that profile) instead of a full-bus walk
+        self._by_profile: dict[int, list[Subscription]] = {}
 
     def attach(self, profile: ClientProfile, callback: Callable[[Delivery], None]) -> Subscription:
         """Join the bus with a profile and a delivery callback."""
@@ -185,6 +246,7 @@ class SemanticBus:
             self._seq_counter += 1
             sub = Subscription(self, profile, callback, self._seq_counter)
             self._subs.append(sub)
+            self._by_profile.setdefault(id(profile), []).append(sub)
             if self.engine is not None:
                 self.engine.add(sub, profile)
         return sub
@@ -208,30 +270,43 @@ class SemanticBus:
                 pass
             else:
                 sub._frozen_rejected = sub.rejected  # stop tracking offers
+                bucket = self._by_profile.get(id(sub.profile))
+                if bucket is not None:
+                    if sub in bucket:
+                        bucket.remove(sub)
+                    if not bucket:
+                        del self._by_profile[id(sub.profile)]
             if self.engine is not None:
                 self.engine.remove(sub)
+
+    def detach(self, sub: Subscription) -> None:
+        """Detach ``sub`` from the bus (idempotent; broker-API surface)."""
+        sub.detach()
 
     @property
     def subscribers(self) -> int:
         return len(self._subs)
 
-    def publish(
-        self, message: SemanticMessage, exclude: Optional[ClientProfile] = None
-    ) -> PublishResult:
-        """Offer ``message`` to every endpoint; returns a :class:`PublishResult`.
+    def _plan_publish(
+        self, message: SemanticMessage, exclude: Optional[ClientProfile]
+    ) -> tuple[list[Subscription], int, int, bool]:
+        """Admission stage of one publish, caller holds ``_attach_lock``.
 
-        ``exclude`` suppresses sender loopback (a client does not
-        re-receive its own events).
+        Returns ``(candidates, offered, excluded, via_index)`` computed
+        against a consistent snapshot of the subscription list and the
+        index — a concurrent :meth:`attach`/:meth:`Subscription.detach`
+        can no longer skew ``rejected`` accounting or mutate the list
+        mid-iteration (interpretation and delivery then run outside the
+        lock, so callbacks may themselves attach or detach).
         """
         self.published += 1
-        headers = message.effective_headers()
         offered = len(self._subs)
         excluded = 0
         if exclude is not None:
-            for sub in self._subs:
-                if sub.profile is exclude:
-                    sub._excluded += 1
-                    excluded += 1
+            # O(subs sharing the sender's profile), not O(all subs)
+            for sub in self._by_profile.get(id(exclude), ()):
+                sub._excluded += 1
+                excluded += 1
         shortlist = None
         via_index = False
         if self.engine is not None:
@@ -244,6 +319,19 @@ class SemanticBus:
             # the interpreter — same outcome it would reach; attach order
             # keeps delivery order identical to the linear path
             candidates = sorted(shortlist, key=lambda s: s._seq)
+        return candidates, offered, excluded, via_index
+
+    def publish(
+        self, message: SemanticMessage, exclude: Optional[ClientProfile] = None
+    ) -> PublishResult:
+        """Offer ``message`` to every endpoint; returns a :class:`PublishResult`.
+
+        ``exclude`` suppresses sender loopback (a client does not
+        re-receive its own events).
+        """
+        headers = message.effective_headers()
+        with self._attach_lock:
+            candidates, offered, excluded, via_index = self._plan_publish(message, exclude)
         delivered = transformed = checked = 0
         for sub in candidates:
             if exclude is not None and sub.profile is exclude:
@@ -266,3 +354,37 @@ class SemanticBus:
             candidates_checked=checked,
             matched_via_index=via_index,
         )
+
+    def publish_many(
+        self,
+        messages: Iterable[SemanticMessage],
+        exclude: Optional[ClientProfile] = None,
+    ) -> BatchPublishResult:
+        """Publish a batch of messages; returns a :class:`BatchPublishResult`.
+
+        Single-shard fallback semantics: messages are dispatched in
+        submission order with decisions, per-message results, and
+        delivery order identical to calling :meth:`publish` in a loop —
+        the point is the *API*, so callers write to one batch entry
+        point regardless of backend (see
+        :class:`~repro.messaging.sharded.ShardedSemanticBus` for the
+        backend that actually amortizes batch work).
+        """
+        return BatchPublishResult(
+            results=tuple(self.publish(message, exclude=exclude) for message in messages)
+        )
+
+    def stats(self) -> dict[str, object]:
+        """Counters describing this broker (broker-API surface)."""
+        out: dict[str, object] = {
+            "backend": "semantic-bus",
+            "shards": 1,
+            "subscribers": len(self._subs),
+            "published": self.published,
+            "indexed": self.engine is not None,
+        }
+        if self.engine is not None:
+            out["indexed_publishes"] = self.engine.indexed_publishes
+            out["linear_publishes"] = self.engine.linear_publishes
+            out["reindexes"] = self.engine.reindexes
+        return out

@@ -1,0 +1,515 @@
+"""Sharded batch-throughput semantic broker.
+
+The plain :class:`~repro.messaging.broker.SemanticBus` keeps one
+predicate index over every attached profile and dispatches one message
+at a time.  That is fast for one bus, but "serves a million
+subscribers" needs three things S-ToPSS-style semantic pub/sub practice
+calls out (PAPERS.md):
+
+* **partitioning** — the predicate index is split into shards keyed by
+  *attribute signature* (the set of attribute names a profile carries at
+  attach time).  Subscriptions land on the shard their signature hashes
+  to; profiles with no attributes land in the catch-all shard 0.  At
+  publish time a selector's :func:`~repro.core.selectors.required_attributes`
+  are tested against each shard's attribute universe — a shard whose
+  population carries none of a required attribute is skipped outright,
+  including for selectors the per-shard index cannot serve (disjunctions,
+  negations), which on the plain bus force a full-population linear scan;
+* **batching** — :meth:`ShardedSemanticBus.publish_many` amortizes
+  header materialization, selector compilation, and shortlist counting
+  across a whole batch: each *distinct* selector is shortlisted once per
+  touched shard, not once per message;
+* **admission control** — every subscriber owns a bounded delivery
+  queue.  When a batch overruns it, the configured
+  :class:`SlowSubscriberPolicy` decides: ``BLOCK`` makes the publisher
+  drain the backlog in order (backpressure), ``DROP_OLDEST`` sheds the
+  subscriber's oldest pending delivery, ``DETACH`` evicts the slow
+  subscriber from the bus.  Queue-depth highwater and shed counters are
+  reported per subscription and in :meth:`ShardedSemanticBus.stats`.
+
+Matching fans out on a per-shard worker pool (when more than one CPU is
+available) and an **ordered merge** reassembles the per-shard decision
+streams by ``(message index, attach ordinal)`` — so with the default
+``BLOCK`` policy, deliveries are decision- *and order-identical* to
+publishing the same messages one by one on a linear ``SemanticBus``.
+Only the phase structure differs: a batch matches first, then delivers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zlib
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from enum import Enum
+from heapq import merge as _ordered_merge
+from typing import Callable, Iterable, Optional
+
+from ..core.matching import Decision, MatchResult, interpret
+from ..core.matching_engine import MatchingEngine, compile_selector
+from ..core.profiles import ClientProfile
+from ..core.selectors import Selector
+from .broker import BatchPublishResult, Delivery, PublishResult, Subscription
+from .message import SemanticMessage
+
+__all__ = ["ShardedSemanticBus", "ShardSubscription", "SlowSubscriberPolicy"]
+
+
+class SlowSubscriberPolicy(Enum):
+    """What to do when a subscriber's bounded delivery queue overruns."""
+
+    #: Drain the backlog synchronously, in order — the publisher absorbs
+    #: the cost (classic backpressure).  Delivery order stays identical
+    #: to the linear bus; this is the default.
+    BLOCK = "block"
+    #: Shed the subscriber's *oldest* pending delivery and count it.
+    DROP_OLDEST = "drop-oldest"
+    #: Evict the subscriber from the bus; its pending deliveries are
+    #: shed and it receives nothing further.
+    DETACH = "detach"
+
+
+class ShardSubscription(Subscription):
+    """A :class:`~repro.messaging.broker.Subscription` plus its shard
+    routing and bounded delivery queue."""
+
+    def __init__(
+        self,
+        bus: "ShardedSemanticBus",
+        profile: ClientProfile,
+        callback: Callable[[Delivery], None],
+        seq: int,
+        shard: int,
+    ) -> None:
+        super().__init__(bus, profile, callback, seq)
+        #: index of the shard this subscription's signature routed to
+        self.shard = shard
+        #: deliveries shed by the slow-subscriber policy
+        self.shed = 0
+        #: highwater mark of the pending-delivery queue
+        self.max_queue_depth = 0
+        self._queue: deque = deque()
+        self._slow_detached = False
+
+    @property
+    def queue_depth(self) -> int:
+        """Deliveries currently pending (nonzero only mid-batch)."""
+        return len(self._queue)
+
+
+class _Shard:
+    """One partition: its own predicate index plus its members."""
+
+    __slots__ = ("engine", "subs")
+
+    def __init__(self) -> None:
+        self.engine = MatchingEngine()
+        self.subs: list[ShardSubscription] = []
+
+
+def _signature_shard(signature: frozenset, nshards: int) -> int:
+    """Stable shard id for an attribute-name signature.
+
+    Profiles with no attributes (nothing to key on) land in the
+    catch-all shard 0.
+    """
+    if not signature:
+        return 0
+    digest = zlib.crc32("\x00".join(sorted(signature)).encode("utf-8"))
+    return digest % nshards
+
+class ShardedSemanticBus:
+    """Signature-sharded, batch-capable semantic broker.
+
+    Satisfies the same :class:`~repro.messaging.transport.BrokerAPI`
+    contract as :class:`~repro.messaging.broker.SemanticBus` — same
+    attach/detach semantics, same :class:`PublishResult` accounting,
+    decision- and order-identical deliveries under the default policy.
+
+    Parameters
+    ----------
+    shards:
+        Number of index partitions.  ``1`` degenerates to a single
+        engine (still batch-capable).
+    queue_capacity:
+        Bound on each subscriber's pending-delivery queue within a
+        batch; beyond it ``slow_policy`` applies.
+    slow_policy:
+        See :class:`SlowSubscriberPolicy`.
+    workers:
+        Worker threads for per-shard matching fan-out.  Defaults to
+        ``min(shards, cpu_count)``; values ``<= 1`` run matching inline
+        (the ordered merge makes either mode deterministic).
+    validate_profiles:
+        As on :class:`~repro.messaging.broker.SemanticBus`.
+    """
+
+    def __init__(
+        self,
+        shards: int = 8,
+        queue_capacity: int = 1024,
+        slow_policy: SlowSubscriberPolicy = SlowSubscriberPolicy.BLOCK,
+        workers: Optional[int] = None,
+        validate_profiles: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self._shards = [_Shard() for _ in range(shards)]
+        self.queue_capacity = queue_capacity
+        self.slow_policy = slow_policy
+        self.validate_profiles = validate_profiles
+        self.published = 0
+        self._size = 0
+        self._seq_counter = 0
+        self._attach_lock = threading.Lock()
+        self._by_profile: dict[int, list[ShardSubscription]] = {}
+        if workers is None:
+            workers = min(shards, os.cpu_count() or 1)
+        self._workers = max(1, workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        # observability
+        self.batches = 0
+        #: (selector, shard) pairs skipped by the required-attribute test,
+        #: weighted by the number of messages they would have served
+        self.shard_skips = 0
+        self.shed_total = 0
+        self.detached_slow = 0
+        self.max_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def subscribers(self) -> int:
+        return self._size
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Current population of each shard (routing observability)."""
+        return tuple(len(shard.subs) for shard in self._shards)
+
+    def route(self, profile: ClientProfile) -> int:
+        """The shard ``profile``'s current attribute signature maps to."""
+        return _signature_shard(frozenset(profile.snapshot()), len(self._shards))
+
+    def attach(
+        self, profile: ClientProfile, callback: Callable[[Delivery], None]
+    ) -> ShardSubscription:
+        """Join the bus; the profile's signature picks its shard."""
+        if self.validate_profiles:
+            from .broker import SemanticBus
+
+            SemanticBus._warn_diagnosable(profile)
+        shard_id = self.route(profile)
+        with self._attach_lock:
+            self._seq_counter += 1
+            sub = ShardSubscription(self, profile, callback, self._seq_counter, shard_id)
+            shard = self._shards[shard_id]
+            shard.subs.append(sub)
+            self._by_profile.setdefault(id(profile), []).append(sub)
+            self._size += 1
+            shard.engine.add(sub, profile)
+        return sub
+
+    def _detach(self, sub: Subscription) -> None:
+        """Bus-side removal (reached via ``Subscription.detach``)."""
+        assert isinstance(sub, ShardSubscription)
+        with self._attach_lock:
+            shard = self._shards[sub.shard]
+            try:
+                shard.subs.remove(sub)
+            except ValueError:
+                pass
+            else:
+                sub._frozen_rejected = sub.rejected
+                self._size -= 1
+                bucket = self._by_profile.get(id(sub.profile))
+                if bucket is not None:
+                    if sub in bucket:
+                        bucket.remove(sub)
+                    if not bucket:
+                        del self._by_profile[id(sub.profile)]
+            shard.engine.remove(sub)
+
+    def detach(self, sub: Subscription) -> None:
+        """Detach ``sub`` from the bus (idempotent; broker-API surface)."""
+        sub.detach()
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self, message: SemanticMessage, exclude: Optional[ClientProfile] = None
+    ) -> PublishResult:
+        """Single-message publish; a batch of one (same accounting as
+        :meth:`SemanticBus.publish <repro.messaging.broker.SemanticBus.publish>`)."""
+        return self.publish_many((message,), exclude=exclude).results[0]
+
+    def publish_many(
+        self,
+        messages: Iterable[SemanticMessage],
+        exclude: Optional[ClientProfile] = None,
+    ) -> BatchPublishResult:
+        """Batch publish: match per shard, merge ordered, deliver.
+
+        Admission runs against a consistent snapshot taken when the
+        batch starts: subscribers attached by delivery callbacks see
+        only subsequent batches.  Deliveries are invoked on the calling
+        thread in ``(message, attach-order)`` order — identical to a
+        linear bus — with the slow-subscriber policy applied per
+        subscriber queue.
+        """
+        msgs = list(messages)
+        if not msgs:
+            return BatchPublishResult(results=())
+        n = len(msgs)
+        # amortized per-message materialization, shared by every shard
+        headers_list = [m.effective_headers() for m in msgs]
+        selectors = [compile_selector(m.selector) for m in msgs]
+        groups: dict[str, list[int]] = {}
+        for i, sel in enumerate(selectors):
+            groups.setdefault(sel.text, []).append(i)
+        sel_of: dict[str, Selector] = {sel.text: sel for sel in selectors}
+
+        with self._attach_lock:
+            self.batches += 1
+            self.published += n
+            offered = self._size
+            excluded = 0
+            if exclude is not None:
+                for ex_sub in self._by_profile.get(id(exclude), ()):
+                    ex_sub._excluded += n
+                    excluded += 1
+            work = [
+                (shard.engine, list(shard.subs))
+                for shard in self._shards
+                if shard.subs
+            ]
+            outputs = self._match_all(work, msgs, headers_list, selectors, sel_of, groups, exclude)
+
+        # -------- ordered merge + admission-controlled delivery --------
+        delivered = [0] * n
+        transformed = [0] * n
+        checked = [0] * n
+        skipped = 0
+        for _entries, shard_checked, shard_skipped in outputs:
+            for i, c in enumerate(shard_checked):
+                checked[i] += c
+            skipped += shard_skipped
+        self.shard_skips += skipped
+
+        capacity = self.queue_capacity
+        policy = self.slow_policy
+        batch_shed = 0
+        batch_detached = 0
+        pending: list[list] = []
+        cursor = 0
+        merged = _ordered_merge(
+            *(entries for entries, _c, _s in outputs), key=lambda e: (e[0], e[1])
+        )
+        for m, _seq, sub, result in merged:
+            delivered[m] += 1
+            if result.decision is Decision.ACCEPT_WITH_TRANSFORM:
+                transformed[m] += 1
+                sub.transformed += 1
+            else:
+                sub.accepted += 1
+            if sub._slow_detached:
+                sub.shed += 1
+                batch_shed += 1
+                continue
+            entry = [sub, Delivery(msgs[m], result), True]
+            pending.append(entry)
+            sub._queue.append(entry)
+            depth = len(sub._queue)
+            if depth > sub.max_queue_depth:
+                sub.max_queue_depth = depth
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+            if depth > capacity:
+                if policy is SlowSubscriberPolicy.BLOCK:
+                    # publisher absorbs the backlog: drain *everything*
+                    # pending, in global order, so ordering is preserved
+                    cursor = self._drain(pending, cursor)
+                elif policy is SlowSubscriberPolicy.DROP_OLDEST:
+                    oldest = sub._queue.popleft()
+                    oldest[2] = False
+                    sub.shed += 1
+                    batch_shed += 1
+                else:  # DETACH
+                    dropped = len(sub._queue)
+                    for e in sub._queue:
+                        e[2] = False
+                    sub._queue.clear()
+                    sub.shed += dropped
+                    batch_shed += dropped
+                    sub._slow_detached = True
+                    sub.detach()
+                    batch_detached += 1
+        self._drain(pending, cursor)
+        self.shed_total += batch_shed
+        self.detached_slow += batch_detached
+
+        results = tuple(
+            PublishResult(
+                delivered=delivered[i],
+                transformed=transformed[i],
+                rejected=offered - excluded - delivered[i],
+                candidates_checked=checked[i],
+                matched_via_index=selectors[i].conjunctive_plan() is not None,
+            )
+            for i in range(n)
+        )
+        return BatchPublishResult(
+            results=results, shed=batch_shed, detached_slow=batch_detached
+        )
+
+    @staticmethod
+    def _drain(pending: list[list], cursor: int) -> int:
+        """Deliver every live pending entry from ``cursor`` on, in order."""
+        i = cursor
+        while i < len(pending):
+            sub, delivery, live = pending[i]
+            if live:
+                sub._queue.popleft()
+                sub.callback(delivery)
+            i += 1
+        return i
+
+    # ------------------------------------------------------------------
+    # per-shard matching
+    # ------------------------------------------------------------------
+    def _match_all(
+        self,
+        work: list,
+        msgs: list[SemanticMessage],
+        headers_list: list[dict],
+        selectors: list[Selector],
+        sel_of: dict[str, Selector],
+        groups: dict[str, list[int]],
+        exclude: Optional[ClientProfile],
+    ) -> list[tuple[list, list[int], int]]:
+        """Run :meth:`_match_shard` over every populated shard.
+
+        Fan-out uses the worker pool when configured with more than one
+        worker; the caller holds the attach lock either way, so the
+        per-shard engines and membership lists are frozen for the batch.
+        """
+        if len(work) <= 1 or self._workers <= 1:
+            return [
+                self._match_shard(engine, subs, msgs, headers_list, selectors, sel_of, groups, exclude)
+                for engine, subs in work
+            ]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                self._match_shard, engine, subs, msgs, headers_list, selectors, sel_of, groups, exclude
+            )
+            for engine, subs in work
+        ]
+        return [f.result() for f in futures]
+
+    @staticmethod
+    def _match_shard(
+        engine: MatchingEngine,
+        subs: list[ShardSubscription],
+        msgs: list[SemanticMessage],
+        headers_list: list[dict],
+        selectors: list[Selector],
+        sel_of: dict[str, Selector],
+        groups: dict[str, list[int]],
+        exclude: Optional[ClientProfile],
+    ) -> tuple[list, list[int], int]:
+        """Decision stream of one shard for the whole batch.
+
+        Returns ``(entries, checked, skipped)`` where ``entries`` is a
+        ``(msg_index, attach_seq, sub, result)`` list sorted by
+        ``(msg_index, attach_seq)`` (feeds the ordered merge),
+        ``checked[i]`` counts interpreter runs for message ``i``, and
+        ``skipped`` counts messages this shard never looked at thanks to
+        the required-attribute test.
+        """
+        engine.flush()
+        universe = engine.attribute_universe()
+        # one shortlist per *distinct* selector per shard, not per message
+        cand_of: dict[str, Optional[list[ShardSubscription]]] = {}
+        skipped = 0
+        for text, midxs in groups.items():
+            sel = sel_of[text]
+            required = sel.required_attributes()
+            if required and not required <= universe:
+                # no profile in this shard carries a required attribute:
+                # every member rejects, without running the interpreter —
+                # this also covers selectors the index cannot serve
+                cand_of[text] = None
+                skipped += len(midxs)
+                continue
+            shortlist = engine.shortlist(sel)
+            if shortlist.keys is None:
+                cand_of[text] = subs  # linear fallback, shard-local only
+            else:
+                cand_of[text] = sorted(shortlist.keys, key=lambda s: s._seq)
+        entries: list = []
+        checked = [0] * len(msgs)
+        for m, sel in enumerate(selectors):
+            candidates = cand_of[sel.text]
+            if not candidates:
+                continue
+            headers = headers_list[m]
+            n_checked = 0
+            for sub in candidates:
+                if exclude is not None and sub.profile is exclude:
+                    continue
+                n_checked += 1
+                result: MatchResult = interpret(sel, headers, sub.profile)
+                if result.decision is Decision.REJECT:
+                    continue
+                entries.append((m, sub._seq, sub, result))
+            checked[m] = n_checked
+        return entries, checked, skipped
+
+    # ------------------------------------------------------------------
+    # lifecycle / observability
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise RuntimeError("bus is closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="shard-match"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the matching worker pool down.  Idempotent; the bus
+        still publishes afterwards (inline matching)."""
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def stats(self) -> dict[str, object]:
+        """Counters describing this broker (broker-API surface)."""
+        return {
+            "backend": "sharded-semantic-bus",
+            "shards": len(self._shards),
+            "shard_sizes": self.shard_sizes(),
+            "subscribers": self._size,
+            "published": self.published,
+            "batches": self.batches,
+            "indexed": True,
+            "workers": self._workers,
+            "queue_capacity": self.queue_capacity,
+            "slow_policy": self.slow_policy.value,
+            "shard_skips": self.shard_skips,
+            "shed": self.shed_total,
+            "detached_slow": self.detached_slow,
+            "max_queue_depth": self.max_queue_depth,
+        }

@@ -25,15 +25,16 @@ from __future__ import annotations
 
 import socket as _socketlib
 import struct
+import threading
 import zlib
-from typing import Callable, Optional, Protocol, runtime_checkable
+from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
 
 from ..core.matching import Decision, MatchResult, interpret
 from ..core.profiles import ClientProfile
 from ..network.clock import Scheduler
 from ..network.multicast import MulticastGroup, MulticastSocket
 from ..network.simnet import Network
-from .broker import Delivery
+from .broker import BatchPublishResult, Delivery, PublishResult, SemanticBus, Subscription
 from .message import SemanticMessage
 from .rtp import (
     DEFAULT_MTU,
@@ -51,6 +52,9 @@ from .serialization import WireError, decode_message, encode_message
 __all__ = [
     "Transport",
     "DatagramTransport",
+    "BrokerAPI",
+    "BrokerLike",
+    "make_broker",
     "SimTransport",
     "LoopbackUDP",
     "SemanticEndpoint",
@@ -58,6 +62,87 @@ __all__ = [
 
 #: ``on_receive`` signature shared by every transport: (payload, (host, port)).
 ReceiveCallback = Callable[[bytes, tuple[str, int]], None]
+
+
+@runtime_checkable
+class BrokerAPI(Protocol):
+    """The broker contract every semantic dispatch backend satisfies.
+
+    Previously implicit in :class:`~repro.messaging.broker.SemanticBus`'s
+    concrete surface, now explicit so clients, the base station, and
+    experiments can select a backend by *capability* rather than
+    concrete class: the in-process
+    :class:`~repro.messaging.broker.SemanticBus`, the partitioned
+    :class:`~repro.messaging.sharded.ShardedSemanticBus`, and the
+    networked :class:`SemanticEndpoint` all conform (use
+    :func:`make_broker` to pick one by scale).
+
+    Notes on semantics the protocol deliberately leaves backend-shaped:
+
+    * ``publish``/``publish_many`` return :class:`PublishResult` /
+      :class:`BatchPublishResult` on in-process buses; the networked
+      endpoint — whose deliveries are decided remotely, at each
+      receiver — returns sent-fragment counts (int-compatible, like
+      ``PublishResult`` itself).
+    * ``exclude`` suppresses sender loopback where loopback exists; a
+      networked endpoint never re-receives its own sends, so it accepts
+      and ignores the argument.
+    """
+
+    def attach(
+        self, profile: ClientProfile, callback: Callable[[Delivery], None]
+    ) -> Subscription: ...
+
+    def detach(self, sub: Subscription) -> None: ...
+
+    def publish(
+        self, message: SemanticMessage, exclude: Optional[ClientProfile] = None
+    ): ...
+
+    def publish_many(self, messages: Iterable[SemanticMessage]): ...
+
+    @property
+    def subscribers(self) -> int: ...
+
+    def stats(self) -> dict: ...
+
+
+#: Alias matching the "unified BrokerLike API" naming used in docs.
+BrokerLike = BrokerAPI
+
+
+def make_broker(
+    expected_subscribers: int = 0,
+    *,
+    shards: Optional[int] = None,
+    indexed: bool = True,
+    validate_profiles: bool = False,
+    **sharded_options,
+) -> BrokerAPI:
+    """Pick an in-process broker backend by capability.
+
+    ``shards`` (explicitly, or implied by an ``expected_subscribers``
+    population large enough to want partitioning) selects the
+    :class:`~repro.messaging.sharded.ShardedSemanticBus`; otherwise the
+    plain :class:`~repro.messaging.broker.SemanticBus` is returned.
+    Extra keyword options (``queue_capacity``, ``slow_policy``,
+    ``workers``) pass through to the sharded backend.  For a
+    *networked* broker, construct a :class:`SemanticEndpoint` — it
+    satisfies the same :class:`BrokerAPI`.
+    """
+    from .sharded import ShardedSemanticBus
+
+    if shards is None and expected_subscribers >= 10_000:
+        shards = 8
+    if shards is not None:
+        return ShardedSemanticBus(
+            shards=shards, validate_profiles=validate_profiles, **sharded_options
+        )
+    if sharded_options:
+        raise TypeError(
+            f"options {sorted(sharded_options)} require the sharded backend; pass shards="
+        )
+    return SemanticBus(indexed=indexed, validate_profiles=validate_profiles)
 
 
 @runtime_checkable
@@ -342,6 +427,16 @@ class SemanticEndpoint:
         transport.on_receive = self._on_datagram
         host, port = transport.local_address
         self.host = host
+        #: messages offered to the local subscriptions (backs the
+        #: per-subscription accounting; every decoded message is an offer)
+        self.published = 0
+        self._attach_lock = threading.Lock()
+        self._seq_counter = 1
+        # the endpoint's own profile is its first local subscription —
+        # extra co-located subscribers attach() alongside it and every
+        # incoming message is interpreted per attached profile
+        self._primary = Subscription(self, profile, self._deliver_primary, self._seq_counter)
+        self._local_subs: list[Subscription] = [self._primary]
         ssrc = zlib.crc32(f"{host}:{port}".encode()) & 0xFFFFFFFF
         self._packetizer = RtpPacketizer(ssrc, mtu=mtu)
         self._reassembler = RtpReassembler(self._on_payload, clock=self._now)
@@ -388,10 +483,77 @@ class SemanticEndpoint:
         return self._transport.local_address
 
     # ------------------------------------------------------------------
+    # local subscriptions (broker-API surface)
+    # ------------------------------------------------------------------
+    def _deliver_primary(self, delivery: Delivery) -> None:
+        """Primary subscription callback: the application's handler."""
+        self.on_delivery(delivery)
+
+    def attach(
+        self, profile: ClientProfile, callback: Callable[[Delivery], None]
+    ) -> Subscription:
+        """Attach a co-located subscriber to this endpoint.
+
+        Every message arriving off the wire is interpreted against each
+        attached profile (exactly as the in-process bus does), so one
+        endpoint can serve several local consumers — e.g. apps sharing
+        one host's group membership.  The endpoint's own profile is the
+        first subscription; handles detach the usual way.
+        """
+        with self._attach_lock:
+            self._seq_counter += 1
+            sub = Subscription(self, profile, callback, self._seq_counter)
+            self._local_subs.append(sub)
+        return sub
+
+    def _detach(self, sub: Subscription) -> None:
+        """Bus-side removal (reached via ``Subscription.detach``)."""
+        with self._attach_lock:
+            try:
+                self._local_subs.remove(sub)
+            except ValueError:
+                pass
+            else:
+                sub._frozen_rejected = sub.rejected
+
+    def detach(self, sub: Subscription) -> None:
+        """Detach ``sub`` from the endpoint (idempotent)."""
+        sub.detach()
+
+    @property
+    def subscribers(self) -> int:
+        """Locally attached subscriptions (incl. the endpoint's own)."""
+        return len(self._local_subs)
+
+    def stats(self) -> dict[str, object]:
+        """Counters describing this endpoint (broker-API surface)."""
+        return {
+            "backend": "semantic-endpoint",
+            "shards": 1,
+            "subscribers": len(self._local_subs),
+            "published": self.published,
+            "sent_messages": self.sent_messages,
+            "sent_fragments": self.sent_fragments,
+            "received_messages": self.received_messages,
+            "accepted_messages": self.accepted_messages,
+            "decode_failures": self.decode_failures,
+            "nacks_sent": self.nacks_sent,
+            "nacks_received": self.nacks_received,
+            "retransmitted_fragments": self.retransmitted_fragments,
+        }
+
+    # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
-    def publish(self, message: SemanticMessage) -> int:
-        """Multicast a message to the session; returns fragments sent."""
+    def publish(
+        self, message: SemanticMessage, exclude: Optional[ClientProfile] = None
+    ) -> int:
+        """Multicast a message to the session; returns fragments sent.
+
+        ``exclude`` exists for broker-API signature parity and is
+        ignored: a networked endpoint never re-receives its own sends
+        (multicast loopback is off), so there is nothing to suppress.
+        """
         if self._closed:
             raise RuntimeError("endpoint is closed")
         wire = encode_message(message)
@@ -403,6 +565,32 @@ class SemanticEndpoint:
         self.sent_messages += 1
         self.sent_fragments += len(fragments)
         return len(fragments)
+
+    def publish_many(
+        self,
+        messages: Iterable[SemanticMessage],
+        exclude: Optional[ClientProfile] = None,
+        suppress_errors: bool = False,
+    ) -> list[Optional[int]]:
+        """Multicast a batch; returns per-message fragment counts.
+
+        The unified batch entry point mirroring
+        :meth:`SemanticBus.publish_many
+        <repro.messaging.broker.SemanticBus.publish_many>` for the wire
+        path.  With ``suppress_errors`` a message that cannot be
+        encoded or fragmented yields ``None`` in its slot instead of
+        aborting the rest of the batch (the base station's uplink
+        forwarding uses this).
+        """
+        out: list[Optional[int]] = []
+        for message in messages:
+            try:
+                out.append(self.publish(message))
+            except (RtpError, WireError):
+                if not suppress_errors:
+                    raise
+                out.append(None)
+        return out
 
     def unicast(self, message: SemanticMessage, dest: tuple[str, int]) -> int:
         """Point-to-point send (BS → wireless client leg)."""
@@ -462,13 +650,26 @@ class SemanticEndpoint:
             self._warn_decode("dropped an undecodable message payload")
             return
         self.received_messages += 1
-        result = interpret(message.selector, message.effective_headers(), self.profile)
-        if result.decision is Decision.REJECT:
-            if self.promiscuous and self.on_rejected is not None:
-                self.on_rejected(message)
-            return
-        self.accepted_messages += 1
-        self.on_delivery(Delivery(message, result))
+        headers = message.effective_headers()
+        with self._attach_lock:
+            self.published += 1  # one offer to every local subscription
+            subs = list(self._local_subs)
+        for sub in subs:
+            result = interpret(message.selector, headers, sub.profile)
+            if result.decision is Decision.REJECT:
+                # promiscuous inspection only ever applied to the
+                # endpoint's own profile; co-attached subscribers just
+                # miss the message, as on the in-process bus
+                if sub is self._primary and self.promiscuous and self.on_rejected is not None:
+                    self.on_rejected(message)
+                continue
+            if result.decision is Decision.ACCEPT_WITH_TRANSFORM:
+                sub.transformed += 1
+            else:
+                sub.accepted += 1
+            if sub is self._primary:
+                self.accepted_messages += 1
+            sub.callback(Delivery(message, result))
 
     def _warn_decode(self, what: str) -> None:
         import warnings

@@ -275,3 +275,39 @@ class TestMatchingEngine:
         sl = eng.shortlist("role == 'medic' and (tier == 1 or tier == 2)")
         assert sl.via_index
         assert sl.keys == {"c0", "c1"}  # c1 is a false positive; interpret() prunes it
+
+
+class TestBatchSurface:
+    """The batch helpers the sharded broker builds on."""
+
+    def test_attribute_universe_tracks_membership(self):
+        eng, (p0,) = engine_with({"role": "medic", "tier": 1})
+        eng.flush()
+        assert eng.attribute_universe() == {"role", "tier"}
+        eng.remove("c0")
+        eng.flush()
+        assert eng.attribute_universe() == set()
+
+    def test_attribute_universe_follows_profile_updates(self):
+        eng, (p0,) = engine_with({"role": "medic"})
+        p0.update(zone="north")
+        eng.flush()  # re-index the dirty profile before consulting
+        assert "zone" in eng.attribute_universe()
+
+    def test_shortlist_many_memoises_distinct_selectors(self):
+        eng, _ = engine_with({"role": "medic"}, {"role": "clerk"})
+        before = eng.indexed_publishes
+        out = eng.shortlist_many(
+            ["role == 'medic'", "role == 'medic'", "role == 'clerk'"]
+        )
+        assert len(out) == 3
+        assert out[0] is out[1]  # repeated selector: one probe, shared result
+        assert out[0].keys == {"c0"} and out[2].keys == {"c1"}
+        assert eng.indexed_publishes - before == 2  # 2 distinct, not 3
+
+    def test_shortlist_many_flushes_once_for_the_batch(self):
+        eng, (p0,) = engine_with({"role": "observer"})
+        p0.update(role="medic")
+        out = eng.shortlist_many(["role == 'medic'"])
+        assert out[0].keys == {"c0"}
+        assert eng.reindexes == 1

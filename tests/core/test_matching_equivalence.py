@@ -102,6 +102,73 @@ def test_indexed_and_linear_buses_agree(populations, selector, mutate):
 
 @settings(max_examples=60, deadline=None)
 @given(
+    populations=st.lists(profile_attrs, min_size=0, max_size=8),
+    selector_batch=st.lists(st.sampled_from(SELECTORS), min_size=1, max_size=4),
+    nshards=st.sampled_from([1, 2, 3, 5, 8]),
+)
+def test_sharded_batch_agrees_with_linear_bus(populations, selector_batch, nshards):
+    """Sharding + batching may only re-phase the work, never the outcome.
+
+    One ``publish_many`` on a :class:`ShardedSemanticBus` must produce
+    the same decisions, the same *global delivery order*, the same
+    per-message results, and the same per-subscriber counters as
+    publishing the batch message-by-message on an unindexed linear bus —
+    for any shard count, including shard-skipped and linear-fallback
+    selectors.
+    """
+    from repro.messaging.sharded import ShardedSemanticBus
+
+    linear = SemanticBus(indexed=False)
+    sharded = ShardedSemanticBus(shards=nshards)
+    got_linear, got_sharded = [], []
+    subs_l, subs_s = [], []
+    for i, attrs in enumerate(populations):
+        pl = ClientProfile(f"c{i}", dict(attrs))
+        ps = ClientProfile(f"c{i}", dict(attrs))
+        subs_l.append(linear.attach(pl, lambda d, i=i: got_linear.append((i, d.message.msg_id, d.result.decision))))
+        subs_s.append(sharded.attach(ps, lambda d, i=i: got_sharded.append((i, d.message.msg_id, d.result.decision))))
+
+    batch = [
+        SemanticMessage.create("s", text, headers={"enc": "jpeg"})
+        for text in selector_batch
+    ]
+    res_l = [linear.publish(m) for m in batch]
+    res_s = sharded.publish_many(batch)
+
+    assert got_sharded == got_linear
+    assert len(res_s.results) == len(res_l)
+    for rl, rs in zip(res_l, res_s):
+        assert (rl.delivered, rl.transformed, rl.rejected) == (
+            rs.delivered,
+            rs.transformed,
+            rs.rejected,
+        )
+    for sl, ss in zip(subs_l, subs_s):
+        assert (sl.accepted, sl.transformed, sl.rejected) == (
+            ss.accepted,
+            ss.transformed,
+            ss.rejected,
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    attrs=profile_attrs,
+    selector=st.sampled_from(SELECTORS),
+)
+def test_required_attributes_is_sound(attrs, selector):
+    """No profile lacking a required attribute ever matches the selector."""
+    from repro.core.selectors import required_attributes
+
+    sel = Selector(selector)
+    required = required_attributes(sel)
+    profile = ClientProfile("c", dict(attrs))
+    if required and not required <= frozenset(profile.snapshot()):
+        assert not interpret(sel, {}, profile).accepted
+
+
+@settings(max_examples=60, deadline=None)
+@given(
     attrs=profile_attrs,
     selector=st.sampled_from(SELECTORS),
 )

@@ -136,3 +136,91 @@ class TestLossyNetwork:
             tx.publish(SemanticMessage.create("a", "true", body=body))
         sched.run_for(2.0)
         assert sorted(d.message.body for _, d in got) == sorted(bodies)
+
+
+class TestEndpointBrokerSurface:
+    """The networked endpoint satisfies the same BrokerAPI as the buses."""
+
+    def test_attach_colocated_subscriber(self, fabric):
+        sched, net, group = fabric
+        primary_got, extra_got = [], []
+        rx = endpoint(net, group, "b", primary_got, attrs={"role": "clerk"})
+        sub = rx.attach(
+            ClientProfile("b-app", {"role": "medic"}),
+            lambda d: extra_got.append(d),
+        )
+        assert rx.subscribers == 2
+        tx = endpoint(net, group, "a", [])
+        tx.publish(SemanticMessage.create("a", "role == 'medic'"))
+        tx.publish(SemanticMessage.create("a", "role == 'clerk'"))
+        sched.run_for(1.0)
+        # each local profile decides independently, like on the bus
+        assert len(primary_got) == 1 and len(extra_got) == 1
+        # legacy telemetry counts the endpoint's own profile only
+        assert rx.accepted_messages == 1
+        assert rx.received_messages == 2
+        assert sub.accepted == 1 and sub.rejected == 1
+
+    def test_detach_colocated_subscriber(self, fabric):
+        sched, net, group = fabric
+        extra_got = []
+        rx = endpoint(net, group, "b", [])
+        sub = rx.attach(ClientProfile("b-app", {}), lambda d: extra_got.append(d))
+        rx.detach(sub)
+        rx.detach(sub)  # idempotent
+        assert rx.subscribers == 1
+        tx = endpoint(net, group, "a", [])
+        tx.publish(SemanticMessage.create("a", "true"))
+        sched.run_for(1.0)
+        assert extra_got == []
+
+    def test_publish_accepts_and_ignores_exclude(self, fabric):
+        sched, net, group = fabric
+        got = []
+        endpoint(net, group, "b", got)
+        tx = endpoint(net, group, "a", [])
+        tx.publish(SemanticMessage.create("a", "true"), exclude=tx.profile)
+        sched.run_for(1.0)
+        assert len(got) == 1  # loopback never happens anyway
+
+    def test_publish_many_returns_fragment_counts(self, fabric):
+        sched, net, group = fabric
+        got = []
+        endpoint(net, group, "b", got)
+        tx = endpoint(net, group, "a", [])
+        sent = tx.publish_many(
+            [
+                SemanticMessage.create("a", "true", body=b"x"),
+                SemanticMessage.create("a", "true", body=bytes(3000)),
+            ]
+        )
+        assert len(sent) == 2
+        assert sent[0] == 1 and sent[1] > 1
+        sched.run_for(1.0)
+        assert len(got) == 2
+
+    def test_publish_many_suppresses_per_message_errors(self, fabric):
+        sched, net, group = fabric
+        from repro.messaging.serialization import WireError
+
+        tx = endpoint(net, group, "a", [])
+        good = SemanticMessage.create("a", "true")
+        bad = SemanticMessage.create("a", "true", headers={"bad": {"un": 1}})
+        with pytest.raises(WireError):
+            tx.publish_many([good, bad, good])
+        sent = tx.publish_many([good, bad, good], suppress_errors=True)
+        assert sent[0] is not None and sent[2] is not None
+        assert sent[1] is None
+
+    def test_stats_surface(self, fabric):
+        sched, net, group = fabric
+        got = []
+        rx = endpoint(net, group, "b", got)
+        tx = endpoint(net, group, "a", [])
+        tx.publish(SemanticMessage.create("a", "true"))
+        sched.run_for(1.0)
+        stats = rx.stats()
+        assert stats["backend"] == "semantic-endpoint"
+        assert stats["received_messages"] == 1
+        assert stats["subscribers"] == 1
+        assert tx.stats()["sent_messages"] == 1
