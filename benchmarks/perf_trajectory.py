@@ -1,17 +1,26 @@
-"""Perf trajectory: broker throughput snapshot + regression gate.
+"""Perf trajectory: broker + analyzer throughput snapshots + regression gate.
 
-Runs a fixed, seedless-deterministic broker workload and writes the
-numbers to ``BENCH_broker.json`` at the repo root.  The file is
-committed, so the repo carries its own performance trajectory; CI
-re-measures and fails when the tree got more than ``THRESHOLD``× slower
-than the committed snapshot (or when any deterministic work counter —
-delivery counts, interpreter runs, shard skips — changed at all, which
-means dispatch *semantics* drifted, not just speed).
+Runs fixed, seedless-deterministic workloads and writes the numbers to
+``BENCH_broker.json`` and ``BENCH_analysis.json`` at the repo root.
+Both files are committed, so the repo carries its own performance
+trajectory; CI re-measures and fails when the tree got more than
+``THRESHOLD``× slower than a committed snapshot (or when any
+deterministic work counter — delivery counts, interpreter runs, shard
+skips, analyzer findings — changed at all, which means *semantics*
+drifted, not just speed).
+
+``BENCH_analysis.json`` covers the PERF/DET hot-path analyzer itself
+(whole-tree analysis throughput, which must stay finding-free) plus the
+two hot paths the analyzer's own findings sped up: single-message
+sharded publish (PERF001: snapshot copy dropped) and profile
+construction with string interests (PERF004: LRU-cached selector
+parse).  Its ``provenance`` block records the before/after measurements
+of those fixes at the commit that landed them.
 
 Usage::
 
-    python benchmarks/perf_trajectory.py            # refresh the snapshot
-    python benchmarks/perf_trajectory.py --check    # CI gate vs the snapshot
+    python benchmarks/perf_trajectory.py            # refresh both snapshots
+    python benchmarks/perf_trajectory.py --check    # CI gate vs the snapshots
 
 Timing metrics are throughput rates (higher is better) and the gate is
 deliberately loose (2×): CI machines vary, trajectories only need to
@@ -27,6 +36,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT = REPO_ROOT / "BENCH_broker.json"
+ANALYSIS_SNAPSHOT = REPO_ROOT / "BENCH_analysis.json"
 
 #: a timing metric may degrade to 1/THRESHOLD of the snapshot before CI fails
 THRESHOLD = 2.0
@@ -36,8 +46,33 @@ BATCH_SUBS = 12_000
 BATCH_MSGS = 2_000
 PLAIN_SUBS = 2_000
 PLAIN_MSGS = 200
+SINGLE_MSGS = 2_000
+PARSE_PROFILES = 50_000
+ANALYZER_RUNS = 3
 
 ROLES = ("medic", "scout", "engineer", "observer")
+
+#: the measured effect of the analyzer-driven fixes, at the commit that
+#: landed them (same machine, same workloads as collect_analysis below).
+#: Recorded for provenance, never re-checked: the rate gate above is what
+#: protects the trajectory going forward.
+HOTPATH_FIX_PROVENANCE = {
+    "sharded_publish_per_s": {
+        "rule": "PERF001",
+        "fix": "publish_many hands live shard lists to workers instead of "
+        "copying O(population) per publish (membership is frozen under "
+        "the attach lock for the batch)",
+        "before": 2250,
+        "after": 2373,
+    },
+    "profile_parse_per_s": {
+        "rule": "PERF004",
+        "fix": "core.selectors.parse is LRU-cached by selector text; "
+        "ClientProfile.__init__/set_interest go through it",
+        "before": 44747,
+        "after": 611745,
+    },
+}
 
 
 def _profiles(n):
@@ -106,6 +141,48 @@ def collect() -> dict:
     return metrics
 
 
+def collect_analysis() -> dict:
+    """Analyzer throughput + the hot paths its findings sped up."""
+    from repro.analysis import analyze_hotpath
+    from repro.core.profiles import ClientProfile
+    from repro.core.selectors import parse
+    from repro.messaging.sharded import ShardedSemanticBus
+
+    sink = lambda d: None  # noqa: E731
+    metrics: dict[str, float] = {}
+
+    # -- PERF/DET analysis over the repo's own source tree -------------
+    src_tree = str(REPO_ROOT / "src")
+    findings = len(analyze_hotpath([src_tree]))  # warm imports + parse caches
+    t0 = time.perf_counter()
+    for _ in range(ANALYZER_RUNS):
+        findings = len(analyze_hotpath([src_tree]))
+    metrics["hotpath_analyses_per_s"] = ANALYZER_RUNS / (time.perf_counter() - t0)
+    # exact gate: the committed tree must stay free of PERF/DET findings
+    metrics["hotpath_findings"] = findings
+
+    # -- single-message publish on the sharded backend (PERF001 fix) ---
+    bus = ShardedSemanticBus(shards=8)
+    for p in _profiles(BATCH_SUBS):
+        bus.attach(p, sink)
+    msgs = _batch(SINGLE_MSGS + 100)
+    for m in msgs[:100]:  # warmup
+        bus.publish(m)
+    t0 = time.perf_counter()
+    delivered = sum(bus.publish(m).delivered for m in msgs[100:])
+    metrics["sharded_publish_per_s"] = SINGLE_MSGS / (time.perf_counter() - t0)
+    metrics["sharded_single_delivered"] = delivered
+
+    # -- profile construction with string interests (PERF004 fix) ------
+    interests = [f"role == '{r}' and tier >= {t}" for r in ROLES for t in range(5)]
+    parse.cache_clear()  # measure from a cold cache, deterministically
+    t0 = time.perf_counter()
+    for i in range(PARSE_PROFILES):
+        ClientProfile(f"p{i}", {"role": "medic"}, interest=interests[i % 20])
+    metrics["profile_parse_per_s"] = PARSE_PROFILES / (time.perf_counter() - t0)
+    return metrics
+
+
 #: metrics compared as throughput rates (2× tolerance)
 RATE_METRICS = (
     "sharded_attach_per_s",
@@ -115,12 +192,24 @@ RATE_METRICS = (
 #: metrics that must match the snapshot exactly (semantic drift gate)
 EXACT_METRICS = ("sharded_delivered", "sharded_checked", "bus_delivered")
 
+ANALYSIS_RATE_METRICS = (
+    "hotpath_analyses_per_s",
+    "sharded_publish_per_s",
+    "profile_parse_per_s",
+)
+ANALYSIS_EXACT_METRICS = ("hotpath_findings", "sharded_single_delivered")
 
-def check(baseline: dict, fresh: dict) -> list[str]:
-    """Compare a fresh run against the snapshot; returns failure strings."""
+
+def check(
+    baseline: dict,
+    fresh: dict,
+    rate_metrics: tuple[str, ...] = RATE_METRICS,
+    exact_metrics: tuple[str, ...] = EXACT_METRICS,
+) -> list[str]:
+    """Compare a fresh run against a snapshot; returns failure strings."""
     failures = []
     base = baseline.get("metrics", {})
-    for name in RATE_METRICS:
+    for name in rate_metrics:
         if name not in base:
             continue  # snapshot predates the metric
         old, new = float(base[name]), float(fresh[name])
@@ -129,7 +218,7 @@ def check(baseline: dict, fresh: dict) -> list[str]:
                 f"{name}: {new:.0f}/s is more than {THRESHOLD}x below "
                 f"the committed {old:.0f}/s"
             )
-    for name in EXACT_METRICS:
+    for name in exact_metrics:
         if name not in base:
             continue
         if int(base[name]) != int(fresh[name]):
@@ -140,18 +229,33 @@ def check(baseline: dict, fresh: dict) -> list[str]:
     return failures
 
 
+def _gate(
+    path: Path,
+    fresh: dict,
+    rate_metrics: tuple[str, ...],
+    exact_metrics: tuple[str, ...],
+) -> list[str]:
+    if not path.exists():
+        return [f"no snapshot at {path}; run without --check to create it"]
+    baseline = json.loads(path.read_text())
+    for name in rate_metrics + exact_metrics:
+        committed = baseline.get("metrics", {}).get(name)
+        print(f"{name}: fresh={fresh[name]:.0f} committed={committed}")
+    return check(baseline, fresh, rate_metrics, exact_metrics)
+
+
 def main(argv: list[str]) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    fresh = collect()
+    fresh_broker = collect()
+    fresh_analysis = collect_analysis()
     if "--check" in argv:
-        if not SNAPSHOT.exists():
-            print(f"no snapshot at {SNAPSHOT}; run without --check to create it")
-            return 1
-        baseline = json.loads(SNAPSHOT.read_text())
-        failures = check(baseline, fresh)
-        for name in RATE_METRICS + EXACT_METRICS:
-            committed = baseline.get("metrics", {}).get(name)
-            print(f"{name}: fresh={fresh[name]:.0f} committed={committed}")
+        failures = _gate(SNAPSHOT, fresh_broker, RATE_METRICS, EXACT_METRICS)
+        failures += _gate(
+            ANALYSIS_SNAPSHOT,
+            fresh_analysis,
+            ANALYSIS_RATE_METRICS,
+            ANALYSIS_EXACT_METRICS,
+        )
         if failures:
             print("\nperf trajectory REGRESSED:")
             for f in failures:
@@ -160,11 +264,25 @@ def main(argv: list[str]) -> int:
         print("\nperf trajectory ok")
         return 0
     SNAPSHOT.write_text(
-        json.dumps({"schema": 1, "metrics": fresh}, indent=2, sort_keys=True) + "\n"
+        json.dumps({"schema": 1, "metrics": fresh_broker}, indent=2, sort_keys=True)
+        + "\n"
     )
-    print(f"wrote {SNAPSHOT}")
-    for name, value in sorted(fresh.items()):
-        print(f"  {name}: {value:.0f}")
+    ANALYSIS_SNAPSHOT.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "metrics": fresh_analysis,
+                "provenance": HOTPATH_FIX_PROVENANCE,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    for path, fresh in ((SNAPSHOT, fresh_broker), (ANALYSIS_SNAPSHOT, fresh_analysis)):
+        print(f"wrote {path}")
+        for name, value in sorted(fresh.items()):
+            print(f"  {name}: {value:.0f}")
     return 0
 
 

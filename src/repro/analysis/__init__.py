@@ -72,6 +72,19 @@ from .policy_lint import (
     lint_step_policy,
     lint_transforms,
 )
+from .hotpath import (
+    DET_WALLCLOCK_EXEMPT_PATHS,
+    HOT_ENTRY_SUFFIXES,
+    POPULATION_NAMES,
+    PURE_CALLABLES,
+    SIM_ROOT_SUFFIXES,
+    analyze_hotpath,
+    det_diagnostics,
+    hot_contexts,
+    hotpath_diagnostics,
+    perf_diagnostics,
+    sim_reachable,
+)
 from .repo_lint import extract_selector_literals, lint_file, lint_paths, lint_source
 from .runner import AnalysisReport, analyze_defaults, render_json, render_text, run_analysis
 from .sarif import render_sarif
@@ -146,6 +159,17 @@ __all__ = [
     "SHARED_STATE_CLASSES",
     "analyze_typestate",
     "typestate_diagnostics",
+    "HOT_ENTRY_SUFFIXES",
+    "SIM_ROOT_SUFFIXES",
+    "POPULATION_NAMES",
+    "PURE_CALLABLES",
+    "DET_WALLCLOCK_EXEMPT_PATHS",
+    "hot_contexts",
+    "sim_reachable",
+    "analyze_hotpath",
+    "hotpath_diagnostics",
+    "perf_diagnostics",
+    "det_diagnostics",
     "fingerprint",
     "load_baseline",
     "dump_baseline",

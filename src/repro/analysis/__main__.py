@@ -123,6 +123,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the typestate/concurrency passes (protocol automata)",
     )
     parser.add_argument(
+        "--no-perf",
+        action="store_true",
+        help="skip the hot-path cost pass (PERF rules)",
+    )
+    parser.add_argument(
+        "--no-det",
+        action="store_true",
+        help="skip the replay-determinism pass (DET rules)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-rule-family wall time to stderr after the run",
+    )
+    parser.add_argument(
         "--explain",
         nargs="*",
         metavar="CODE",
@@ -142,14 +157,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline = {}
 
     paths = args.paths or ([] if args.selector else _default_paths())
+    timings: Optional[dict[str, float]] = {} if args.profile else None
     report = run_analysis(
         paths,
         selectors=args.selector,
         include_defaults=not args.no_defaults,
         include_dataflow=not args.no_dataflow,
         include_typestate=not args.no_typestate,
+        include_perf=not args.no_perf,
+        include_det=not args.no_det,
         ignore=args.ignore,
+        profile=timings,
     )
+    if timings is not None:
+        total = sum(timings.values())
+        parts = ", ".join(
+            f"{family} {seconds:.3f}s" for family, seconds in sorted(timings.items())
+        )
+        print(f"profile: {parts} (total {total:.3f}s)", file=sys.stderr)
 
     if args.write_baseline:
         with open(args.write_baseline, "w", encoding="utf-8") as fh:

@@ -115,6 +115,17 @@ RULES: dict[str, tuple[Severity, str]] = {
     "CON001": (Severity.WARNING, "shared Arbiter/LockManager/bus state mutated from a delivery callback"),
     "CON002": (Severity.WARNING, "SemanticBus.publish() called synchronously from a delivery callback"),
     "CON003": (Severity.WARNING, "shared container mutated by callbacks from multiple thread roots"),
+    # -- hot-path cost (interprocedural loop-cost propagation) ------------
+    "PERF001": (Severity.WARNING, "population-sized scan or copy on a per-packet hot path (O(subscribers) work per message)"),
+    "PERF002": (Severity.WARNING, "per-packet container construction in a nested hot loop (allocation churn per candidate per message)"),
+    "PERF003": (Severity.WARNING, "repeated immutable-bytes concatenation in a hot loop (quadratic; use bytearray or join)"),
+    "PERF004": (Severity.WARNING, "loop-invariant pure call or uncached selector re-parse on a hot path (hoist or route through the parse cache)"),
+    "PERF005": (Severity.WARNING, "eager string formatting / print / logging in a hot loop (formats even when the sink discards it)"),
+    # -- replay determinism -----------------------------------------------
+    "DET001": (Severity.ERROR, "unseeded or process-global RNG reachable from simulation paths (breaks byte-identical seeded replay)"),
+    "DET002": (Severity.WARNING, "wall-clock read reachable from simulation paths (use the virtual clock; harness timing needs an exemption-registry entry)"),
+    "DET003": (Severity.WARNING, "unstable-order set iteration flows into an ordering-sensitive sink (sort before iterating)"),
+    "DET004": (Severity.ERROR, "id()/object-hash() used in an ordering key (identity varies across runs)"),
 }
 
 

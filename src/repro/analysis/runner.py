@@ -11,11 +11,13 @@ everything into a single :class:`AnalysisReport`.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from .dataflow import dataflow_diagnostics
 from .diagnostics import Diagnostic, Severity, filter_diagnostics, max_severity
+from .hotpath import det_diagnostics, perf_diagnostics
 from .policy_lint import lint_policy_database
 from .repo_lint import lint_paths
 from .selector_analysis import selector_diagnostics
@@ -75,35 +77,56 @@ def run_analysis(
     include_defaults: bool = True,
     include_dataflow: bool = True,
     include_typestate: bool = True,
+    include_perf: bool = True,
+    include_det: bool = True,
     ignore: Iterable[str] = (),
     baseline: Optional[dict[str, int]] = None,
+    profile: Optional[dict[str, float]] = None,
 ) -> AnalysisReport:
     """Run every requested pass and aggregate the findings.
 
     ``paths`` are files/directories for the repo-lint + extraction pass
-    and the dataflow passes; ``selectors`` are ad-hoc selector
-    expressions to analyze directly.  A ``baseline`` (see
+    and the graph passes; ``selectors`` are ad-hoc selector expressions
+    to analyze directly.  A ``baseline`` (see
     :mod:`~repro.analysis.baseline`) drops known findings so only new
-    ones remain in the report.
+    ones remain in the report.  Pass a dict as ``profile`` to receive
+    per-rule-family wall times (seconds) in it.
     """
     ignore = tuple(ignore)
     paths = tuple(paths)
     diags: list[Diagnostic] = []
+
+    def timed(family: str, produce: Callable[[], list[Diagnostic]]) -> None:
+        t0 = time.perf_counter()
+        diags.extend(produce())
+        if profile is not None:
+            profile[family] = profile.get(family, 0.0) + time.perf_counter() - t0
+
     if include_defaults:
-        diags.extend(analyze_defaults(ignore=ignore))
+        timed("defaults", lambda: analyze_defaults(ignore=ignore))
     if paths:
-        diags.extend(lint_paths(paths, ignore=ignore))
-        if include_dataflow or include_typestate:
+        timed("repo-lint", lambda: lint_paths(paths, ignore=ignore))
+        if include_dataflow or include_typestate or include_perf or include_det:
             from .callgraph import build_call_graph
 
-            graph = build_call_graph(paths)  # shared by both families
+            t0 = time.perf_counter()
+            graph = build_call_graph(paths)  # shared by every graph family
+            if profile is not None:
+                profile["callgraph"] = time.perf_counter() - t0
             if include_dataflow:
-                diags.extend(dataflow_diagnostics(graph, ignore=ignore))
+                timed("dataflow", lambda: dataflow_diagnostics(graph, ignore=ignore))
             if include_typestate:
-                diags.extend(typestate_diagnostics(graph, ignore=ignore))
+                timed("typestate", lambda: typestate_diagnostics(graph, ignore=ignore))
+            if include_perf:
+                timed("perf", lambda: perf_diagnostics(graph, ignore=ignore))
+            if include_det:
+                timed("det", lambda: det_diagnostics(graph, ignore=ignore))
     for expr in selectors:
-        diags.extend(
-            filter_diagnostics(selector_diagnostics(expr), ignore=ignore)
+        timed(
+            "selectors",
+            lambda expr=expr: filter_diagnostics(
+                selector_diagnostics(expr), ignore=ignore
+            ),
         )
     if baseline:
         from .baseline import apply_baseline

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
 from .attributes import AttributeValue, coerce_value, values_equal
-from .selectors import Selector, TRUE_SELECTOR
+from .selectors import Selector, TRUE_SELECTOR, parse
 
 __all__ = ["TransformRule", "ClientProfile", "ProfileError"]
 
@@ -94,7 +94,7 @@ class ClientProfile:
         if interest is None:
             self.interest = TRUE_SELECTOR
         elif isinstance(interest, str):
-            self.interest = Selector(interest)
+            self.interest = parse(interest)  # LRU: repeats parse once
         else:
             self.interest = interest
         self.transforms: list[TransformRule] = list(transforms)
@@ -136,7 +136,7 @@ class ClientProfile:
 
     def set_interest(self, interest: Selector | str) -> None:
         """Replace the interest selector."""
-        self.interest = Selector(interest) if isinstance(interest, str) else interest
+        self.interest = parse(interest) if isinstance(interest, str) else interest
         self._bump()
 
     def add_transform(self, rule: TransformRule) -> None:

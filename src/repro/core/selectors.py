@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Optional, Union
 
 from .attributes import MISSING, AttributeMap, values_equal
@@ -655,8 +656,20 @@ class Selector:
         return f"Selector({self.text!r})"
 
 
+@lru_cache(maxsize=1024)
 def parse(text: str) -> Selector:
-    """Compile a selector; alias for the constructor."""
+    """Compile a selector, LRU-cached by its source text.
+
+    Selectors are immutable once built (the lazily memoised
+    :meth:`~Selector.conjunctive_plan` / :meth:`~Selector.required_attributes`
+    are pure functions of the text), so every caller holding the same
+    text can share one instance — and with it the memoised plan and
+    required-attribute set.  Attach-path callers
+    (:class:`~repro.core.profiles.ClientProfile`) route through here so
+    repeated interests parse once per process instead of once per
+    client.  Parse errors are not cached; a bad string raises
+    :class:`SelectorError` on every call.
+    """
     return Selector(text)
 
 

@@ -313,7 +313,10 @@ class SemanticBus:
             sl = self.engine.shortlist(message.selector)
             shortlist, via_index = sl.keys, sl.via_index
         if shortlist is None:
-            candidates = list(self._subs)
+            # linear fallback by design: disjunctions/negations defeat the
+            # index, and the snapshot copy is what lets delivery run
+            # outside the lock (callbacks may attach/detach)
+            candidates = list(self._subs)  # repro: ignore[PERF001]
         else:
             # subscribers the index excluded are rejected without running
             # the interpreter — same outcome it would reach; attach order

@@ -287,8 +287,11 @@ class ShardedSemanticBus:
                 for ex_sub in self._by_profile.get(id(exclude), ()):
                     ex_sub._excluded += n
                     excluded += 1
+            # matching completes under the attach lock, so shard
+            # membership is frozen for the batch: hand the live lists to
+            # the workers instead of copying O(population) per publish
             work = [
-                (shard.engine, list(shard.subs))
+                (shard.engine, shard.subs)
                 for shard in self._shards
                 if shard.subs
             ]

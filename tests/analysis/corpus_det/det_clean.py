@@ -1,0 +1,28 @@
+"""Known-good determinism corpus: the sanctioned twin of every DET rule.
+
+``CollaborationFramework.run`` is a simulation root, so this code is in
+scope for every DET rule — and must produce zero findings: a seeded
+instance RNG (DET001), the simulation's own clock (DET002), sorted
+iteration before an order-sensitive sink (DET003), and stable sequence
+numbers as heap keys (DET004).  This file is analyzed, never imported.
+"""
+
+
+class CollaborationFramework:
+    def __init__(self, seed):
+        # seeded instance generator: clean DET001
+        self.rng = random.Random(seed)
+        self._heap = []
+        self.trace = []
+
+    def run(self, events):
+        jitter = self.rng.random()
+        # simulation clock, not the wall: clean DET002
+        started = self.clock.now
+        ready = {event.key for event in events}
+        # sorted before the sink, order is reproducible: clean DET003
+        for key in sorted(ready):
+            self.trace.append(key)
+        for event in events:
+            # value-stable ordering key: clean DET004
+            heappush(self._heap, (event.seq, started, jitter, event))

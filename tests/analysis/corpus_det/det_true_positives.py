@@ -1,0 +1,27 @@
+"""Known-bad determinism corpus: every DET rule must fire here.
+
+``Scheduler.step`` is a simulation root, so everything below is
+replay-relevant.  Each marked line breaks run-to-run reproducibility in
+a distinct way; the golden expectation file pins exactly these
+findings.  This file is analyzed, never imported.
+"""
+
+
+class Scheduler:
+    def __init__(self):
+        self._heap = []
+        self.trace = []
+
+    def step(self, events):
+        # DET001: global RNG draw — hidden process-wide state
+        jitter = random.random()
+        # DET001: unseeded generator — fresh OS entropy every run
+        rng = default_rng()
+        # DET002: wall-clock read inside simulation logic
+        started = time.time()
+        ready = {event.key for event in events}
+        # DET003: set iteration feeding an order-sensitive sink
+        for key in ready:
+            self.trace.append(key)
+        # DET004: id() in an ordering key — allocation-address order
+        heappush(self._heap, (id(jitter), started, rng))

@@ -1,0 +1,34 @@
+"""Known-good hot-path corpus: the sanctioned twin of every PERF rule.
+
+``RtpReassembler.ingest`` is a registered hot entry, so this code is in
+scope for every PERF rule — and must produce zero findings: shortlists
+instead of population scans (PERF001), per-item copies instead of
+same-source churn (PERF002), ``bytearray`` accumulation (PERF003),
+hoisted / cache-layer selector compilation (PERF004), and lazy
+%-style logging (PERF005).  This file is analyzed, never imported.
+"""
+
+
+class RtpReassembler:
+    def __init__(self):
+        self._index = {}
+        self.default_filter = "role == 'medic'"
+
+    def ingest(self, message):
+        # parse once per call, through the cache layer: clean PERF004
+        fallback = compile_selector(self.default_filter)
+        # hoisted out of the loop: clean PERF004 (a)
+        plan = compile_selector(message.selector_text)
+        buf = bytearray()
+        for frag in message.frags:
+            # amortized accumulation: clean PERF003
+            buf.extend(frag)
+        blob = bytes(buf)
+        # index shortlist, not the population: clean PERF001
+        shortlist = self._index.get(message.key, ())
+        for sub in shortlist:
+            # per-item copy (source varies per iteration): clean PERF002
+            headers = dict(sub.overrides)
+            # lazy formatting, renders only if the sink wants it: clean PERF005
+            log.debug("delivering %s", message.key)
+            sub.deliver(blob, headers, plan, fallback)
