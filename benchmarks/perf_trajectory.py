@@ -143,7 +143,7 @@ def collect() -> dict:
 
 def collect_analysis() -> dict:
     """Analyzer throughput + the hot paths its findings sped up."""
-    from repro.analysis import analyze_hotpath
+    from repro.analysis import analyze_concurrency, analyze_hotpath, lint_paths
     from repro.core.profiles import ClientProfile
     from repro.core.selectors import parse
     from repro.messaging.sharded import ShardedSemanticBus
@@ -160,6 +160,35 @@ def collect_analysis() -> dict:
     metrics["hotpath_analyses_per_s"] = ANALYZER_RUNS / (time.perf_counter() - t0)
     # exact gate: the committed tree must stay free of PERF/DET findings
     metrics["hotpath_findings"] = findings
+
+    # -- DLK/RACE analysis over the same tree --------------------------
+    conc_findings = len(analyze_concurrency([src_tree]))  # warm
+    t0 = time.perf_counter()
+    for _ in range(ANALYZER_RUNS):
+        conc_findings = len(analyze_concurrency([src_tree]))
+    metrics["concurrency_analyses_per_s"] = ANALYZER_RUNS / (
+        time.perf_counter() - t0
+    )
+    # exact gate: the committed tree must stay free of DLK/RACE findings
+    metrics["concurrency_findings"] = conc_findings
+
+    # -- per-file lint fan-out (python -m repro.analysis --jobs N) -----
+    lint_paths([src_tree])  # warm
+    t0 = time.perf_counter()
+    serial = lint_paths([src_tree])
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = lint_paths([src_tree], jobs=4)
+    t_parallel = time.perf_counter() - t0
+    metrics["repo_lint_per_s"] = 1.0 / t_serial
+    #: recorded, not gated: worker processes win on big trees but the
+    #: spawn cost dominates on small ones and CI core counts vary
+    metrics["repo_lint_jobs_speedup"] = t_serial / t_parallel
+    # exact gate: the parallel merge must be byte-identical to serial
+    metrics["repo_lint_jobs_match"] = int(
+        [(d.code, d.file, d.line) for d in serial]
+        == [(d.code, d.file, d.line) for d in parallel]
+    )
 
     # -- single-message publish on the sharded backend (PERF001 fix) ---
     bus = ShardedSemanticBus(shards=8)
@@ -194,10 +223,17 @@ EXACT_METRICS = ("sharded_delivered", "sharded_checked", "bus_delivered")
 
 ANALYSIS_RATE_METRICS = (
     "hotpath_analyses_per_s",
+    "concurrency_analyses_per_s",
+    "repo_lint_per_s",
     "sharded_publish_per_s",
     "profile_parse_per_s",
 )
-ANALYSIS_EXACT_METRICS = ("hotpath_findings", "sharded_single_delivered")
+ANALYSIS_EXACT_METRICS = (
+    "hotpath_findings",
+    "concurrency_findings",
+    "repo_lint_jobs_match",
+    "sharded_single_delivered",
+)
 
 
 def check(

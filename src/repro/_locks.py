@@ -1,0 +1,36 @@
+"""Lock construction with opt-in sanitizer instrumentation.
+
+Runtime layers (messaging, snmp) name their locks through
+:func:`make_lock` so the lock-order sanitizer
+(:mod:`repro.analysis.sanitizer`) can observe them during sanitized test
+runs — and so the static verifier (:mod:`repro.analysis.concurrency`)
+sees one recognisable construction idiom either way.
+
+This indirection lives outside :mod:`repro.analysis` on purpose: the
+analysis package imports :mod:`repro.core`, which imports the messaging
+layer, so messaging importing the analysis package at module scope would
+cycle.  Here the sanitizer is imported lazily, and only when
+``REPRO_SANITIZE`` is set or the sanitizer module is already loaded —
+an unsanitized process pays one ``dict`` lookup per lock construction
+and holds plain ``threading`` locks.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .analysis.sanitizer import LockLike
+
+
+def make_lock(name: str, *, reentrant: bool = False) -> "LockLike":
+    """A named lock: sanitizer-tracked when sanitizing, plain otherwise."""
+    mod = sys.modules.get("repro.analysis.sanitizer")
+    if mod is None and os.environ.get("REPRO_SANITIZE"):
+        from .analysis import sanitizer as mod  # type: ignore[no-redef]
+    if mod is not None and mod.is_enabled():
+        return mod.TrackedLock(name, reentrant=reentrant)
+    return threading.RLock() if reentrant else threading.Lock()

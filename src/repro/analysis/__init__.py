@@ -44,6 +44,17 @@ from .callgraph import (
     build_call_graph,
     build_call_graph_from_sources,
 )
+from .concurrency import (
+    LOCK_FACTORIES,
+    THREAD_ROOT_SUFFIXES,
+    LockInfo,
+    analyze_concurrency,
+    check_sanitizer_report,
+    collect_locks,
+    concurrency_diagnostics,
+    find_cycles,
+    lock_order_edges,
+)
 from .dataflow import (
     GAUGE_UNITS,
     RESOURCE_TYPES,
@@ -87,6 +98,7 @@ from .hotpath import (
 )
 from .repo_lint import extract_selector_literals, lint_file, lint_paths, lint_source
 from .runner import AnalysisReport, analyze_defaults, render_json, render_text, run_analysis
+from .sanitizer import LockOrderSanitizer, TrackedLock, make_lock
 from .sarif import render_sarif
 from .typestate import (
     PROTOCOLS,
@@ -170,6 +182,18 @@ __all__ = [
     "hotpath_diagnostics",
     "perf_diagnostics",
     "det_diagnostics",
+    "LOCK_FACTORIES",
+    "THREAD_ROOT_SUFFIXES",
+    "LockInfo",
+    "collect_locks",
+    "lock_order_edges",
+    "find_cycles",
+    "concurrency_diagnostics",
+    "analyze_concurrency",
+    "check_sanitizer_report",
+    "LockOrderSanitizer",
+    "TrackedLock",
+    "make_lock",
     "fingerprint",
     "load_baseline",
     "dump_baseline",

@@ -133,6 +133,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the replay-determinism pass (DET rules)",
     )
     parser.add_argument(
+        "--no-concurrency",
+        action="store_true",
+        help="skip the lock-order/race pass (DLK/RACE rules)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        metavar="REPORT",
+        help="cross-check a runtime sanitizer JSON report (REPRO_SANITIZE=1"
+        " test run) against the static lock graph",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files on N worker processes (default: 1, serial);"
+        " output is identical either way",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print per-rule-family wall time to stderr after the run",
@@ -166,9 +185,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         include_typestate=not args.no_typestate,
         include_perf=not args.no_perf,
         include_det=not args.no_det,
+        include_concurrency=not args.no_concurrency,
         ignore=args.ignore,
         profile=timings,
+        jobs=args.jobs,
     )
+    if args.sanitize:
+        import json
+
+        from .callgraph import build_call_graph
+        from .concurrency import check_sanitizer_report
+
+        with open(args.sanitize, encoding="utf-8") as fh:
+            sanitizer_report = json.load(fh)
+        extra = check_sanitizer_report(
+            build_call_graph(paths), sanitizer_report, ignore=args.ignore
+        )
+        report = AnalysisReport(tuple(list(report.diagnostics) + extra))
     if timings is not None:
         total = sum(timings.values())
         parts = ", ".join(

@@ -115,6 +115,13 @@ RULES: dict[str, tuple[Severity, str]] = {
     "CON001": (Severity.WARNING, "shared Arbiter/LockManager/bus state mutated from a delivery callback"),
     "CON002": (Severity.WARNING, "SemanticBus.publish() called synchronously from a delivery callback"),
     "CON003": (Severity.WARNING, "shared container mutated by callbacks from multiple thread roots"),
+    # -- concurrency: lock order & shared-state races ---------------------
+    "DLK001": (Severity.ERROR, "lock-order cycle in the whole-program acquisition graph (potential deadlock)"),
+    "DLK002": (Severity.WARNING, "lock acquired while holding a different backend's lock (cross-boundary nesting; one callback re-entry away from a cycle)"),
+    "DLK003": (Severity.WARNING, "field is lock-protected on some paths but written without the lock on another"),
+    "RACE001": (Severity.ERROR, "field written from multiple thread roots with at least one unguarded write"),
+    "RACE002": (Severity.WARNING, "unsynchronized lazy initialisation reachable without a lock (two threads can both construct)"),
+    "RACE003": (Severity.WARNING, "non-atomic check-then-act on a shared container reachable without a lock"),
     # -- hot-path cost (interprocedural loop-cost propagation) ------------
     "PERF001": (Severity.WARNING, "population-sized scan or copy on a per-packet hot path (O(subscribers) work per message)"),
     "PERF002": (Severity.WARNING, "per-packet container construction in a nested hot loop (allocation churn per candidate per message)"),

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from .concurrency import concurrency_diagnostics
 from .dataflow import dataflow_diagnostics
 from .diagnostics import Diagnostic, Severity, filter_diagnostics, max_severity
 from .hotpath import det_diagnostics, perf_diagnostics
@@ -79,9 +80,11 @@ def run_analysis(
     include_typestate: bool = True,
     include_perf: bool = True,
     include_det: bool = True,
+    include_concurrency: bool = True,
     ignore: Iterable[str] = (),
     baseline: Optional[dict[str, int]] = None,
     profile: Optional[dict[str, float]] = None,
+    jobs: int = 1,
 ) -> AnalysisReport:
     """Run every requested pass and aggregate the findings.
 
@@ -90,7 +93,9 @@ def run_analysis(
     to analyze directly.  A ``baseline`` (see
     :mod:`~repro.analysis.baseline`) drops known findings so only new
     ones remain in the report.  Pass a dict as ``profile`` to receive
-    per-rule-family wall times (seconds) in it.
+    per-rule-family wall times (seconds) in it.  ``jobs > 1`` fans the
+    per-file repo-lint pass out over worker processes; the final report
+    is sorted either way, so the output is identical to a serial run.
     """
     ignore = tuple(ignore)
     paths = tuple(paths)
@@ -105,8 +110,14 @@ def run_analysis(
     if include_defaults:
         timed("defaults", lambda: analyze_defaults(ignore=ignore))
     if paths:
-        timed("repo-lint", lambda: lint_paths(paths, ignore=ignore))
-        if include_dataflow or include_typestate or include_perf or include_det:
+        timed("repo-lint", lambda: lint_paths(paths, ignore=ignore, jobs=jobs))
+        if (
+            include_dataflow
+            or include_typestate
+            or include_perf
+            or include_det
+            or include_concurrency
+        ):
             from .callgraph import build_call_graph
 
             t0 = time.perf_counter()
@@ -121,6 +132,11 @@ def run_analysis(
                 timed("perf", lambda: perf_diagnostics(graph, ignore=ignore))
             if include_det:
                 timed("det", lambda: det_diagnostics(graph, ignore=ignore))
+            if include_concurrency:
+                timed(
+                    "concurrency",
+                    lambda: concurrency_diagnostics(graph, ignore=ignore),
+                )
     for expr in selectors:
         timed(
             "selectors",

@@ -1,0 +1,289 @@
+"""Runtime lock-order sanitizer: dynamic corroboration for DLK001.
+
+The static verifier (:mod:`repro.analysis.concurrency`) proves lock
+discipline from the AST; this module observes it from a *live* process.
+Tracked locks (:class:`TrackedLock`) delegate to a real
+``threading.Lock``/``RLock`` but report every acquisition to the active
+:class:`LockOrderSanitizer`, which keeps a per-thread stack of held lock
+names and accumulates the observed acquisition-order edges — exactly the
+edge relation the static pass computes, but witnessed at run time with
+thread names and stack frames.  An *inversion* (some thread acquired
+``A`` then ``B``, another ``B`` then ``A``) is recorded the moment the
+second order is seen — the lockdep trick: the sanitizer catches the
+deadlock *potential* even on runs where the interleaving never actually
+deadlocks.
+
+Opt-in and zero-cost when off:
+
+* ``REPRO_SANITIZE=1 pytest`` — the test-suite hook in
+  ``tests/conftest.py`` calls :func:`enable`, the runtime layers'
+  :func:`repro._locks.make_lock` starts handing out tracked locks,
+  and the session fails if any inversion was observed.  The
+  JSON report (:meth:`LockOrderSanitizer.write_report`) feeds
+  ``python -m repro.analysis --sanitize report.json``, which merges the
+  runtime edges into the static lock graph and re-runs cycle detection
+  (:func:`~repro.analysis.concurrency.check_sanitizer_report`).
+* Without the env var (and without a programmatic :func:`enable`),
+  ``make_lock`` returns a plain ``threading.Lock`` — no wrapper, no
+  bookkeeping, nothing on the hot path.
+
+Edges are recorded *before* blocking on the underlying lock, so an
+acquisition that would deadlock still contributes its edge first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import traceback
+from typing import Iterable, Optional, Protocol
+
+__all__ = [
+    "TrackedLock",
+    "LockOrderSanitizer",
+    "enable",
+    "disable",
+    "get",
+    "is_enabled",
+    "make_lock",
+]
+
+
+class LockLike(Protocol):
+    """What callers need from a lock (plain or tracked).
+
+    Both shapes also work as context managers; the protocol stays
+    minimal because ``threading``'s dunder signatures vary across
+    typeshed versions.
+    """
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+#: frames of acquisition stack kept per first-seen edge witness
+_WITNESS_FRAMES = 6
+
+_active: Optional["LockOrderSanitizer"] = None
+_active_mu = threading.Lock()
+
+
+class LockOrderSanitizer:
+    """Accumulates lock-acquisition order observations across threads."""
+
+    def __init__(self, *, max_frames: int = _WITNESS_FRAMES) -> None:
+        self._max_frames = max_frames
+        self._tls = threading.local()
+        self._mu = threading.Lock()  # guards the shared tables below
+        #: (held, acquired) -> observation count
+        self._edges: dict[tuple[str, str], int] = {}
+        #: (held, acquired) -> first witness {thread, stack}
+        self._witness: dict[tuple[str, str], dict[str, object]] = {}
+        self._locks_seen: set[str] = set()
+        #: inversions in observation order: (a, b) recorded when the
+        #: edge a->b arrived while b->a was already on file
+        self._inversions: list[tuple[str, str]] = []
+
+    # -- per-thread held stack ------------------------------------------
+    def _held(self) -> list[str]:
+        stack = getattr(self._tls, "held", None)
+        if stack is None:
+            stack = []
+            self._tls.held = stack
+        return stack
+
+    # -- observation hooks (called by TrackedLock) ----------------------
+    def before_acquire(self, name: str) -> None:
+        """Record order edges for ``name`` against everything held."""
+        held = self._held()
+        if not held:
+            with self._mu:
+                self._locks_seen.add(name)
+            return
+        stack = [
+            f"{f.filename}:{f.lineno}:{f.name}"
+            for f in traceback.extract_stack(limit=self._max_frames + 2)[:-2]
+        ]
+        thread = threading.current_thread().name
+        with self._mu:
+            self._locks_seen.add(name)
+            for h in held:
+                if h == name:
+                    continue  # re-entrant self-acquire orders nothing
+                edge = (h, name)
+                fresh = edge not in self._edges
+                self._edges[edge] = self._edges.get(edge, 0) + 1
+                if fresh:
+                    self._witness[edge] = {"thread": thread, "stack": stack}
+                    if (name, h) in self._edges:
+                        self._inversions.append((h, name))
+
+    def on_acquired(self, name: str) -> None:
+        self._held().append(name)
+
+    def on_release(self, name: str) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                return
+
+    # -- results ---------------------------------------------------------
+    def edges(self) -> list[tuple[str, str]]:
+        """Observed (held, acquired) pairs, sorted."""
+        with self._mu:
+            return sorted(self._edges)
+
+    def inversions(self) -> list[tuple[str, str]]:
+        """Lock pairs observed in both orders (deadlock potential).
+
+        Each pair is reported once, canonically ordered, sorted.
+        """
+        with self._mu:
+            seen = set(self._edges)
+        out = {tuple(sorted((a, b))) for a, b in seen if (b, a) in seen}
+        return sorted((a, b) for a, b in out)
+
+    def check_against(self, static_edges: Iterable[tuple[str, str]]) -> list[str]:
+        """Runtime orders that invert an edge of the static lock graph.
+
+        The static pass may know orders this run never exercised; an
+        observed edge that reverses one of them is a latent inversion
+        even if this process never saw both orders itself.
+        """
+        static = set(static_edges)
+        return [
+            f"runtime order {a} -> {b} inverts the statically proven order {b} -> {a}"
+            for a, b in self.edges()
+            if (b, a) in static and (a, b) not in static
+        ]
+
+    def report(self) -> dict[str, object]:
+        """JSON-serialisable summary of everything observed."""
+        with self._mu:
+            edges = sorted(self._edges)
+            payload_edges = [
+                {
+                    "held": a,
+                    "acquired": b,
+                    "count": self._edges[(a, b)],
+                    "witness": self._witness.get((a, b), {}),
+                }
+                for a, b in edges
+            ]
+            locks = sorted(self._locks_seen)
+        return {
+            "schema": 1,
+            "locks": locks,
+            "edges": payload_edges,
+            "inversions": [list(pair) for pair in self.inversions()],
+        }
+
+    def write_report(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.report(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def reset(self) -> None:
+        with self._mu:
+            self._edges.clear()
+            self._witness.clear()
+            self._locks_seen.clear()
+            self._inversions.clear()
+
+
+class TrackedLock:
+    """A named lock that reports acquisitions to the active sanitizer.
+
+    Delegates to a real ``threading.Lock`` (or ``RLock`` with
+    ``reentrant=True``); the sanitizer is looked up *per operation*, so
+    one lock object works across :func:`enable`/:func:`disable` cycles
+    and tests that install their own sanitizer.
+    """
+
+    __slots__ = ("name", "_lock", "_sanitizer")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        reentrant: bool = False,
+        sanitizer: Optional[LockOrderSanitizer] = None,
+    ) -> None:
+        self.name = name
+        self._lock = threading.RLock() if reentrant else threading.Lock()
+        self._sanitizer = sanitizer
+
+    def _san(self) -> Optional[LockOrderSanitizer]:
+        return self._sanitizer if self._sanitizer is not None else _active
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        san = self._san()
+        if san is not None:
+            san.before_acquire(self.name)
+        ok = self._lock.acquire(blocking, timeout)
+        if ok and san is not None:
+            san.on_acquired(self.name)
+        return ok
+
+    def release(self) -> None:
+        san = self._san()
+        if san is not None:
+            san.on_release(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        locked = getattr(self._lock, "locked", None)
+        return bool(locked()) if callable(locked) else False
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# process-wide activation
+# ----------------------------------------------------------------------
+def enable(sanitizer: Optional[LockOrderSanitizer] = None) -> LockOrderSanitizer:
+    """Install (and return) the process-wide sanitizer."""
+    global _active
+    with _active_mu:
+        if sanitizer is None:
+            sanitizer = _active or LockOrderSanitizer()
+        _active = sanitizer
+        return sanitizer
+
+
+def disable() -> None:
+    """Deactivate the process-wide sanitizer (observations are kept)."""
+    global _active
+    with _active_mu:
+        _active = None
+
+
+def get() -> Optional[LockOrderSanitizer]:
+    """The active process-wide sanitizer, if any."""
+    return _active
+
+
+def is_enabled() -> bool:
+    return _active is not None or bool(os.environ.get("REPRO_SANITIZE"))
+
+
+def make_lock(name: str, *, reentrant: bool = False) -> LockLike:
+    """A lock for ``name``: tracked when the sanitizer is on, plain otherwise.
+
+    The decision is made at construction time — long-lived locks created
+    before :func:`enable` stay plain — so production code pays nothing.
+    ``REPRO_SANITIZE`` in the environment forces tracked locks from the
+    start of the process, which is how the test-suite hook works.
+    """
+    if is_enabled():
+        return TrackedLock(name, reentrant=reentrant)
+    return threading.RLock() if reentrant else threading.Lock()

@@ -38,7 +38,6 @@ Only the phase structure differs: a batch matches first, then delivers.
 from __future__ import annotations
 
 import os
-import threading
 import zlib
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -46,6 +45,7 @@ from enum import Enum
 from heapq import merge as _ordered_merge
 from typing import Callable, Iterable, Optional
 
+from .._locks import make_lock
 from ..core.matching import Decision, MatchResult, interpret
 from ..core.matching_engine import MatchingEngine, compile_selector
 from ..core.profiles import ClientProfile
@@ -164,7 +164,7 @@ class ShardedSemanticBus:
         self.published = 0
         self._size = 0
         self._seq_counter = 0
-        self._attach_lock = threading.Lock()
+        self._attach_lock = make_lock("ShardedSemanticBus._attach_lock")
         self._by_profile: dict[int, list[ShardSubscription]] = {}
         if workers is None:
             workers = min(shards, os.cpu_count() or 1)
@@ -405,7 +405,7 @@ class ShardedSemanticBus:
         worker; the caller holds the attach lock either way, so the
         per-shard engines and membership lists are frozen for the batch.
         """
-        if len(work) <= 1 or self._workers <= 1:
+        if len(work) <= 1 or self._workers <= 1 or self._closed:
             return [
                 self._match_shard(engine, subs, msgs, headers_list, selectors, sel_of, groups, exclude)
                 for engine, subs in work
@@ -482,6 +482,11 @@ class ShardedSemanticBus:
     # lifecycle / observability
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
+        # Lazy init is *double-checked* by construction: every caller
+        # (only ``_match_all``) already holds ``_attach_lock``, so the
+        # None test and the assignment are one critical section.  The
+        # ``_closed`` test is likewise lock-protected, making a
+        # close()/publish race impossible rather than merely unlikely.
         if self._closed:
             raise RuntimeError("bus is closed")
         if self._pool is None:
@@ -493,8 +498,9 @@ class ShardedSemanticBus:
     def close(self) -> None:
         """Shut the matching worker pool down.  Idempotent; the bus
         still publishes afterwards (inline matching)."""
-        self._closed = True
-        pool, self._pool = self._pool, None
+        with self._attach_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
 

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import socket as _socketlib
 import struct
-import threading
 import zlib
 from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
 
+from .._locks import make_lock
 from ..core.matching import Decision, MatchResult, interpret
 from ..core.profiles import ClientProfile
 from ..network.clock import Scheduler
@@ -430,7 +430,7 @@ class SemanticEndpoint:
         #: messages offered to the local subscriptions (backs the
         #: per-subscription accounting; every decoded message is an offer)
         self.published = 0
-        self._attach_lock = threading.Lock()
+        self._attach_lock = make_lock("SemanticEndpoint._attach_lock")
         self._seq_counter = 1
         # the endpoint's own profile is its first local subscription —
         # extra co-located subscribers attach() alongside it and every

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence as Seq
 
+from .._locks import make_lock
 from ..network.clock import Scheduler
 
 if TYPE_CHECKING:
@@ -189,6 +190,12 @@ class SnmpManager:
         self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
         self._next_request_id = 1
         self._responses: dict[int, TaggedPdu] = {}
+        # Guards the shared maps and counters against a datagram callback
+        # running on a poll/transport thread.  Held only for short
+        # dict/counter critical sections — never across
+        # ``scheduler.step()``, which re-enters ``_on_datagram`` on the
+        # *same* thread and would self-deadlock.
+        self._mu = make_lock("SnmpManager._mu")
         # observability
         self.requests_sent = 0
         self.timeouts = 0
@@ -212,7 +219,8 @@ class SnmpManager:
             return
         if len(pdu.items) != 4 or not isinstance(pdu.items[0], Integer):
             return
-        self._responses[pdu.items[0].value] = pdu
+        with self._mu:
+            self._responses[pdu.items[0].value] = pdu
 
     def _request(
         self,
@@ -222,8 +230,9 @@ class SnmpManager:
         slot1: int = 0,
         slot2: int = 0,
     ) -> list[VarBind]:
-        request_id = self._next_request_id
-        self._next_request_id += 1
+        with self._mu:
+            request_id = self._next_request_id
+            self._next_request_id += 1
         vb_seq = Sequence(
             tuple(Sequence((oid.to_ber(), value)) for oid, value in varbinds)
         )
@@ -242,13 +251,16 @@ class SnmpManager:
         breaker = self._breaker(agent)
         now = self.scheduler.clock.now
         if breaker is not None and not breaker.admit(now):
-            self.fast_failures += 1
+            with self._mu:
+                self.fast_failures += 1
             raise SnmpCircuitOpen(agent, breaker.open_until)
 
-        self.last_attempt_times = []
+        with self._mu:
+            self.last_attempt_times = []
         for attempt in range(self.retries + 1):
-            self.requests_sent += 1
-            self.last_attempt_times.append(self.scheduler.clock.now)
+            with self._mu:
+                self.requests_sent += 1
+                self.last_attempt_times.append(self.scheduler.clock.now)
             self._sock.sendto(wire, agent)
             deadline = self.scheduler.clock.now + self.timeout
             # Pump the simulation until our response lands or time expires.
@@ -264,11 +276,16 @@ class SnmpManager:
                     self.scheduler.call_at(deadline, _wake)
                 if self.scheduler.clock.now > deadline:
                     break
-            if request_id in self._responses:
+            # Atomic claim: check-then-pop as two steps would race with a
+            # late datagram landing between them on a transport thread.
+            with self._mu:
+                response = self._responses.pop(request_id, None)
+            if response is not None:
                 if breaker is not None:
                     breaker.record_success()
-                return self._parse_response(self._responses.pop(request_id))
-            self.timeouts += 1
+                return self._parse_response(response)
+            with self._mu:
+                self.timeouts += 1
             if attempt < self.retries:
                 self._sleep(self._backoff_delay(request_id, attempt))
         if breaker is not None:
@@ -281,12 +298,13 @@ class SnmpManager:
     def _breaker(self, agent: tuple[str, int]) -> Optional[CircuitBreaker]:
         if self.breaker_threshold <= 0:
             return None
-        breaker = self._breakers.get(agent)
-        if breaker is None:
-            breaker = CircuitBreaker(
-                self.breaker_threshold, self.breaker_cooldown, self.breaker_max_cooldown
-            )
-            self._breakers[agent] = breaker
+        with self._mu:
+            breaker = self._breakers.get(agent)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.breaker_threshold, self.breaker_cooldown, self.breaker_max_cooldown
+                )
+                self._breakers[agent] = breaker
         return breaker
 
     def breaker_state(self, host: str, port: int = SNMP_PORT) -> str:

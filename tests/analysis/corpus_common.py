@@ -1,0 +1,78 @@
+"""Shared driver for the golden-corpus gates.
+
+Each corpus directory (``corpus_perf``, ``corpus_det``,
+``corpus_typestate``, ``corpus_concurrency``) keeps a thin
+``check_corpus.py`` entrypoint that delegates here: run one analyzer
+family over the corpus, compare against the checked-in
+``expected_diagnostics.json``, and insist the known-good twin files stay
+silent.  Regenerate an expectation after intentionally changing a rule
+or the corpus with ``--update``.
+"""
+
+import json
+import os
+import sys
+
+
+def _current(analyzer_name, here):
+    import repro.analysis
+
+    analyze = getattr(repro.analysis, analyzer_name)
+    diags = analyze([here])
+    entries = [
+        {
+            "code": d.code,
+            "file": os.path.basename(d.file or ""),
+            "line": d.line,
+            "subject": d.subject.rsplit(".", 2)[-1],
+        }
+        for d in diags
+    ]
+    return sorted(entries, key=lambda e: (e["file"], e["line"] or 0, e["code"]))
+
+
+def run_corpus_gate(argv, *, here, family, analyzer_name, clean_files=()):
+    """Gate one corpus directory; returns a process exit status.
+
+    Parameters
+    ----------
+    argv:
+        Command-line arguments (``--update`` rewrites the golden set).
+    here:
+        The corpus directory (holds ``expected_diagnostics.json``).
+    family:
+        Short label used in messages (``"perf"``, ``"det"``, ...).
+    analyzer_name:
+        Attribute of :mod:`repro.analysis` mapping paths to diagnostics.
+    clean_files:
+        Basenames of known-good twins that must produce zero findings.
+    """
+    sys.path.insert(0, os.path.join(here, "..", "..", "..", "src"))
+    expected = os.path.join(here, "expected_diagnostics.json")
+    got = _current(analyzer_name, here)
+    if "--update" in argv:
+        with open(expected, "w", encoding="utf-8") as fh:
+            json.dump(got, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(got)} expected diagnostic(s)")
+        return 0
+    with open(expected, encoding="utf-8") as fh:
+        want = json.load(fh)
+    problems = []
+    if got != want:
+        problems.append(f"{family} corpus diagnostics drifted from the golden set:")
+        for entry in want:
+            if entry not in got:
+                problems.append(f"  missing: {entry}")
+        for entry in got:
+            if entry not in want:
+                problems.append(f"  unexpected: {entry}")
+    clean_hits = [e for e in got if e["file"] in set(clean_files)]
+    if clean_hits:
+        problems.append("known-good corpus file produced findings:")
+        problems.extend(f"  {entry}" for entry in clean_hits)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    print(f"{family} corpus OK: {len(got)} diagnostic(s) match the golden set")
+    return 0

@@ -1,9 +1,10 @@
-"""Golden-corpus gate: the known-bad PERF corpus must produce exactly
-the expected diagnostics, and the known-good twin none at all.
+"""Golden-corpus gate: the known-bad concurrency corpus must produce
+exactly the expected DLK/RACE diagnostics, and the known-good twins
+none at all.
 
 CI runs this after the main analyzer gate::
 
-    python tests/analysis/corpus_perf/check_corpus.py
+    python tests/analysis/corpus_concurrency/check_corpus.py
 
 Regenerate the expectation with ``--update``.  The actual driver lives
 in :mod:`tests.analysis.corpus_common`.
@@ -22,8 +23,8 @@ if __name__ == "__main__":
         run_corpus_gate(
             sys.argv[1:],
             here=HERE,
-            family="perf",
-            analyzer_name="analyze_hotpath",
-            clean_files=("perf_clean.py",),
+            family="concurrency",
+            analyzer_name="analyze_concurrency",
+            clean_files=("locks_clean.py", "races_clean.py"),
         )
     )

@@ -1,0 +1,83 @@
+"""Known-bad lock-discipline corpus — every marked line must be flagged.
+
+Each scenario is the smallest program exhibiting one DLK rule; the
+clean twin (``locks_clean.py``) does the same work correctly and must
+stay silent.
+"""
+
+import threading
+
+
+# ----------------------------------------------------------------------
+# DLK001 — two-lock order cycle (classic AB/BA deadlock)
+# ----------------------------------------------------------------------
+class Channel:
+    def __init__(self):
+        self.rx_mu = threading.Lock()
+        self.tx_mu = threading.Lock()
+
+    def send(self):
+        with self.tx_mu:
+            with self.rx_mu:  # DLK001: tx->rx here, rx->tx in recv
+                pass
+
+    def recv(self):
+        with self.rx_mu:
+            with self.tx_mu:
+                pass
+
+
+# ----------------------------------------------------------------------
+# DLK001 — non-reentrant self-acquire through a helper (1-cycle)
+# ----------------------------------------------------------------------
+class Recurse:
+    def __init__(self):
+        self.mu = threading.Lock()
+
+    def outer(self):
+        with self.mu:
+            self.inner()
+
+    def inner(self):
+        with self.mu:  # DLK001: plain Lock re-acquired while held
+            pass
+
+
+# ----------------------------------------------------------------------
+# DLK002 — cross-backend nesting: outer layer's lock held while the
+# inner layer takes its own
+# ----------------------------------------------------------------------
+class InnerBus:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.subs = []
+
+    def attach(self, cb):
+        with self.mu:  # DLK002: acquired while Endpoint.mu is held
+            self.subs.append(cb)
+
+
+class Endpoint:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.bus = InnerBus()
+
+    def register(self, cb):
+        with self.mu:
+            self.bus.attach(cb)
+
+
+# ----------------------------------------------------------------------
+# DLK003 — field guarded on one path, bare on another
+# ----------------------------------------------------------------------
+class Counter:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self.mu:
+            self.total += n
+
+    def reset(self):
+        self.total = 0  # DLK003: written without Counter.mu

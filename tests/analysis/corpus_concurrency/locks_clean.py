@@ -1,0 +1,73 @@
+"""Known-good twin of ``locks_bad.py`` — must produce zero findings.
+
+Same shapes, done right: one global acquisition order, a re-entrant
+lock for the recursive path, no cross-layer nesting, every write of the
+guarded field under its lock.
+"""
+
+import threading
+
+
+# the Channel scenario with one consistent order: no cycle
+class OrderedChannel:
+    def __init__(self):
+        self.rx_mu = threading.Lock()
+        self.tx_mu = threading.Lock()
+
+    def send(self):
+        with self.rx_mu:
+            with self.tx_mu:
+                pass
+
+    def recv(self):
+        with self.rx_mu:
+            with self.tx_mu:
+                pass
+
+
+# the Recurse scenario on an RLock: self-acquire is legal
+class Reenter:
+    def __init__(self):
+        self.mu = threading.RLock()
+
+    def outer(self):
+        with self.mu:
+            self.inner()
+
+    def inner(self):
+        with self.mu:
+            pass
+
+
+# the Endpoint scenario without nesting: snapshot under the lock,
+# call the inner layer after releasing
+class FlatEndpoint:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.pending = []
+
+    def register(self, cb):
+        with self.mu:
+            self.pending.append(cb)
+
+    def flush(self, bus_attach):
+        with self.mu:
+            batch = list(self.pending)
+            self.pending = []
+        for cb in batch:
+            bus_attach(cb)
+
+
+# the Counter scenario with every write guarded
+class GuardedCounter:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self.mu:
+            self.total += n
+
+    def reset(self):
+        with self.mu:
+            self.total = 0

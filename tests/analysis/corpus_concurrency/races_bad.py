@@ -1,0 +1,55 @@
+"""Known-bad shared-state race corpus — every marked line must be
+flagged.  The clean twin (``races_clean.py``) must stay silent.
+"""
+
+import threading
+
+
+# ----------------------------------------------------------------------
+# RACE001 — field written from a spawned thread AND the main surface,
+# with no lock anywhere
+# ----------------------------------------------------------------------
+class Telemetry:
+    def __init__(self):
+        self.samples = 0
+
+    def on_sample(self):
+        self.samples += 1  # RACE001: thread-root write, no lock
+
+    def start(self):
+        threading.Thread(target=self.on_sample).start()
+
+    def reset(self):
+        self.samples = 0
+
+
+# ----------------------------------------------------------------------
+# RACE002 — unsynchronized lazy initialisation in a lock-owning class
+# ----------------------------------------------------------------------
+class PoolHolder:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.pool = None
+
+    def ensure(self):
+        if self.pool is None:  # RACE002: two threads can both see None
+            self.pool = object()
+        return self.pool
+
+
+# ----------------------------------------------------------------------
+# RACE003 — non-atomic check-then-act on a shared container
+# ----------------------------------------------------------------------
+class Registry:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.entries = {}
+
+    def publish(self, key, value):
+        with self.mu:
+            self.entries[key] = value
+
+    def claim(self, key):
+        if key in self.entries:  # RACE003: test and pop are two steps
+            return self.entries.pop(key)
+        return None

@@ -1,0 +1,51 @@
+"""Known-good twin of ``races_bad.py`` — must produce zero findings.
+
+Same shapes, synchronized: every cross-thread write under one lock,
+lazy init double-checked under the lock, check-then-act collapsed into
+one atomic locked operation.
+"""
+
+import threading
+
+
+class GuardedTelemetry:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.samples = 0
+
+    def on_sample(self):
+        with self.mu:
+            self.samples += 1
+
+    def start(self):
+        threading.Thread(target=self.on_sample).start()
+
+    def reset(self):
+        with self.mu:
+            self.samples = 0
+
+
+class GuardedPoolHolder:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.pool = None
+
+    def ensure(self):
+        with self.mu:
+            if self.pool is None:
+                self.pool = object()
+            return self.pool
+
+
+class GuardedRegistry:
+    def __init__(self):
+        self.mu = threading.Lock()
+        self.entries = {}
+
+    def publish(self, key, value):
+        with self.mu:
+            self.entries[key] = value
+
+    def claim(self, key):
+        with self.mu:
+            return self.entries.pop(key, None)

@@ -5,57 +5,24 @@ CI runs this after the main analyzer gate::
 
     python tests/analysis/corpus_typestate/check_corpus.py
 
-Regenerate the expectation after intentionally changing a rule or the
-corpus with ``--update``.
+Regenerate the expectation with ``--update``.  The actual driver lives
+in :mod:`tests.analysis.corpus_common`.
 """
 
-import json
 import os
 import sys
 
 HERE = os.path.dirname(os.path.abspath(__file__))
-EXPECTED = os.path.join(HERE, "expected_diagnostics.json")
+sys.path.insert(0, os.path.join(HERE, ".."))
 
-
-def current():
-    from repro.analysis import analyze_typestate
-
-    diags = analyze_typestate([HERE])
-    entries = [
-        {
-            "code": d.code,
-            "file": os.path.basename(d.file or ""),
-            "line": d.line,
-            "subject": d.subject.rsplit(".", 2)[-1],
-        }
-        for d in diags
-    ]
-    return sorted(entries, key=lambda e: (e["file"], e["line"] or 0, e["code"]))
-
-
-def main(argv):
-    sys.path.insert(0, os.path.join(HERE, "..", "..", "..", "src"))
-    got = current()
-    if "--update" in argv:
-        with open(EXPECTED, "w", encoding="utf-8") as fh:
-            json.dump(got, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {len(got)} expected diagnostic(s)")
-        return 0
-    with open(EXPECTED, encoding="utf-8") as fh:
-        want = json.load(fh)
-    if got != want:
-        print("typestate corpus diagnostics drifted from the golden set:", file=sys.stderr)
-        for entry in want:
-            if entry not in got:
-                print(f"  missing: {entry}", file=sys.stderr)
-        for entry in got:
-            if entry not in want:
-                print(f"  unexpected: {entry}", file=sys.stderr)
-        return 1
-    print(f"typestate corpus OK: {len(got)} diagnostic(s) match the golden set")
-    return 0
-
+from corpus_common import run_corpus_gate  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(
+        run_corpus_gate(
+            sys.argv[1:],
+            here=HERE,
+            family="typestate",
+            analyzer_name="analyze_typestate",
+        )
+    )

@@ -1,0 +1,213 @@
+"""Runtime lock-order sanitizer tests.
+
+The centrepiece is the seeded two-thread lock inversion: two threads
+take the same pair of tracked locks in opposite orders, interleaved by
+events so both orders genuinely execute, and the sanitizer must report
+the inversion even though the run never actually deadlocks (the lockdep
+property).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    LockOrderSanitizer,
+    TrackedLock,
+    disable,
+    enable,
+    make_lock,
+)
+
+
+def tracked_pair(san):
+    a = TrackedLock("A.mu", sanitizer=san)
+    b = TrackedLock("B.mu", sanitizer=san)
+    return a, b
+
+
+class TestTrackedLock:
+    def test_delegates_and_records_edges(self):
+        san = LockOrderSanitizer()
+        a, b = tracked_pair(san)
+        with a:
+            assert a.locked()
+            with b:
+                pass
+        assert not a.locked()
+        assert san.edges() == [("A.mu", "B.mu")]
+        assert san.inversions() == []
+
+    def test_reentrant_self_acquire_orders_nothing(self):
+        san = LockOrderSanitizer()
+        r = TrackedLock("R.mu", reentrant=True, sanitizer=san)
+        with r:
+            with r:
+                pass
+        assert san.edges() == []
+
+    def test_non_blocking_acquire_failure_does_not_mark_held(self):
+        san = LockOrderSanitizer()
+        a = TrackedLock("A.mu", sanitizer=san)
+        a.acquire()
+        grabbed = []
+        def worker():
+            grabbed.append(a.acquire(blocking=False))
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert grabbed == [False]
+        a.release()
+
+
+class TestSeededInversion:
+    def test_two_thread_lock_inversion_is_caught(self):
+        """A->B on the main thread, then B->A on a second thread.
+
+        Events serialize the interleaving so the test is deterministic
+        and can never deadlock, yet both orders are *observed* — the
+        sanitizer must flag the pair.
+        """
+        san = LockOrderSanitizer()
+        a, b = tracked_pair(san)
+        first_done = threading.Event()
+
+        def forward():
+            with a:
+                with b:
+                    pass
+            first_done.set()
+
+        def backward():
+            first_done.wait(5)
+            with b:
+                with a:
+                    pass
+
+        t1 = threading.Thread(target=forward, name="fwd")
+        t2 = threading.Thread(target=backward, name="bwd")
+        t1.start()
+        t2.start()
+        t1.join(5)
+        t2.join(5)
+        assert san.inversions() == [("A.mu", "B.mu")]
+        report = san.report()
+        assert report["inversions"] == [["A.mu", "B.mu"]]
+        # both orders on file, each with a witness
+        edges = {(e["held"], e["acquired"]): e for e in report["edges"]}
+        assert ("A.mu", "B.mu") in edges and ("B.mu", "A.mu") in edges
+        assert edges[("B.mu", "A.mu")]["witness"]["thread"] == "bwd"
+        assert edges[("B.mu", "A.mu")]["witness"]["stack"]
+
+    def test_consistent_order_across_threads_is_clean(self):
+        san = LockOrderSanitizer()
+        a, b = tracked_pair(san)
+
+        def worker():
+            with a:
+                with b:
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5)
+        assert san.inversions() == []
+
+
+class TestCheckAgainst:
+    def test_runtime_reversal_of_static_order(self):
+        san = LockOrderSanitizer()
+        a, b = tracked_pair(san)
+        with b:
+            with a:
+                pass
+        problems = san.check_against([("A.mu", "B.mu")])
+        assert problems == [
+            "runtime order B.mu -> A.mu inverts the statically proven order"
+            " A.mu -> B.mu"
+        ]
+
+    def test_matching_order_is_clean(self):
+        san = LockOrderSanitizer()
+        a, b = tracked_pair(san)
+        with a:
+            with b:
+                pass
+        assert san.check_against([("A.mu", "B.mu")]) == []
+
+
+class TestReportLifecycle:
+    def test_write_report_round_trips(self, tmp_path):
+        san = LockOrderSanitizer()
+        a, b = tracked_pair(san)
+        with a:
+            with b:
+                pass
+        out = tmp_path / "sanitizer.json"
+        san.write_report(str(out))
+        data = json.loads(out.read_text())
+        assert data["schema"] == 1
+        assert data["locks"] == ["A.mu", "B.mu"]
+        assert data["inversions"] == []
+        assert data["edges"][0]["held"] == "A.mu"
+
+    def test_reset_clears_observations(self):
+        san = LockOrderSanitizer()
+        a, b = tracked_pair(san)
+        with a:
+            with b:
+                pass
+        san.reset()
+        assert san.edges() == []
+        assert san.report()["locks"] == []
+
+
+@pytest.fixture
+def fresh_activation(monkeypatch):
+    """Neutral activation state; restores the session sanitizer after.
+
+    A sanitized session (``REPRO_SANITIZE=1``) keeps a process-wide
+    sanitizer installed and the env var forces ``make_lock`` tracked;
+    these tests exercise the on/off transition itself, so both have to
+    be cleared — and put back — around each one.
+    """
+    from repro.analysis import sanitizer as mod
+
+    prior = mod.get()
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    disable()
+    yield
+    if prior is not None:
+        enable(prior)
+    else:
+        disable()
+
+
+class TestActivation:
+    def test_make_lock_tracked_only_while_enabled(self, fresh_activation):
+        plain = make_lock("P.mu")
+        assert not isinstance(plain, TrackedLock)
+        san = enable(LockOrderSanitizer())
+        try:
+            tracked = make_lock("T.mu")
+            assert isinstance(tracked, TrackedLock)
+            with tracked:
+                pass
+            assert "T.mu" in san.report()["locks"]
+        finally:
+            disable()
+
+    def test_runtime_make_lock_indirection(self, fresh_activation):
+        # the import-cycle-safe constructor the runtime layers use
+        from repro._locks import make_lock as runtime_make_lock
+
+        san = enable(LockOrderSanitizer())
+        try:
+            lock = runtime_make_lock("Bus.mu")
+            assert isinstance(lock, TrackedLock)
+        finally:
+            disable()
+        assert not isinstance(runtime_make_lock("Bus.mu"), TrackedLock)

@@ -430,3 +430,70 @@ class TestConcurrency:
         assert bus.subscribers == 2
         # the newcomer participates from the next batch on
         assert bus.publish(msg("role == 'medic'")).delivered >= 2
+
+
+class TestCloseRace:
+    """close() vs publish: the shutdown path must be lock-protected.
+
+    close() used to flip ``_closed`` and null the pool outside the
+    attach lock, so a publish already holding the lock could reach
+    ``_ensure_pool`` mid-shutdown and die with "bus is closed" — making
+    the docstring's "still publishes afterwards" a lie for workers>1.
+    Now close() mutates under the lock and ``_match_all`` falls back to
+    inline matching once closed.
+    """
+
+    def test_publish_after_close_delivers_inline(self):
+        bus = ShardedSemanticBus(shards=4, workers=4)
+        sink = []
+        for i in range(8):
+            attach(bus, f"c{i}", sink, attrs={"role": "medic", "seat": i})
+        assert bus.publish(msg("role == 'medic'")).delivered == 8
+        bus.close()
+        # multi-shard batch after close: must match inline, not raise
+        out = bus.publish_many([msg("role == 'medic'")] * 3)
+        assert [r.delivered for r in out.results] == [8, 8, 8]
+        assert bus._pool is None
+
+    def test_concurrent_close_and_publish_never_raises(self):
+        for _ in range(20):
+            bus = ShardedSemanticBus(shards=4, workers=4)
+            for i in range(8):
+                attach(bus, f"c{i}", [], attrs={"role": "medic", "seat": i})
+            errors = []
+            start = threading.Barrier(3)
+
+            def publisher():
+                try:
+                    start.wait(5)
+                    for _ in range(5):
+                        bus.publish(msg("role == 'medic'"))
+                except Exception as exc:  # pragma: no cover - the regression
+                    errors.append(exc)
+
+            def closer():
+                start.wait(5)
+                bus.close()
+
+            threads = [
+                threading.Thread(target=publisher),
+                threading.Thread(target=publisher),
+                threading.Thread(target=closer),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10)
+            assert errors == []
+
+    def test_ensure_pool_rebuilds_only_before_close(self):
+        bus = ShardedSemanticBus(shards=4, workers=4)
+        for i in range(8):
+            # distinct attribute signatures spread the profiles over
+            # shards, forcing the pooled fan-out path
+            attach(bus, f"c{i}", [], attrs={"role": "medic", f"cap{i}": 1})
+        bus.publish(msg("role == 'medic'"))
+        assert bus._pool is not None
+        bus.close()
+        bus.publish(msg("role == 'medic'"))
+        assert bus._pool is None  # closed bus never resurrects workers
