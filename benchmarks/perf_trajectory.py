@@ -143,7 +143,16 @@ def collect() -> dict:
 
 def collect_analysis() -> dict:
     """Analyzer throughput + the hot paths its findings sped up."""
-    from repro.analysis import analyze_concurrency, analyze_hotpath, lint_paths
+    import tempfile
+
+    from repro.analysis import (
+        AnalysisCache,
+        analyze_concurrency,
+        analyze_hotpath,
+        analyze_wireformat,
+        lint_paths,
+        run_analysis,
+    )
     from repro.core.profiles import ClientProfile
     from repro.core.selectors import parse
     from repro.messaging.sharded import ShardedSemanticBus
@@ -171,6 +180,28 @@ def collect_analysis() -> dict:
     )
     # exact gate: the committed tree must stay free of DLK/RACE findings
     metrics["concurrency_findings"] = conc_findings
+
+    # -- WIRE analysis over the same tree ------------------------------
+    wire_findings = len(analyze_wireformat([src_tree]))  # warm
+    t0 = time.perf_counter()
+    for _ in range(ANALYZER_RUNS):
+        wire_findings = len(analyze_wireformat([src_tree]))
+    metrics["wire_analyses_per_s"] = ANALYZER_RUNS / (time.perf_counter() - t0)
+    # exact gate: the committed tree must stay free of WIRE findings
+    metrics["wire_findings"] = wire_findings
+
+    # -- incremental cache: warm full run vs cold ----------------------
+    with tempfile.TemporaryDirectory() as td:
+        cache_path = str(Path(td) / "analysis-cache.json")
+        cold = AnalysisCache.open(cache_path)
+        run_analysis([src_tree], cache=cold)
+        cold.save()
+        warm = AnalysisCache.open(cache_path)
+        t0 = time.perf_counter()
+        run_analysis([src_tree], cache=warm)
+        metrics["analysis_cache_warm_per_s"] = 1.0 / (time.perf_counter() - t0)
+        # exact gate: a warm cache must satisfy every pass (zero misses)
+        metrics["analysis_cache_hit_complete"] = int(warm.misses == 0)
 
     # -- per-file lint fan-out (python -m repro.analysis --jobs N) -----
     lint_paths([src_tree])  # warm
@@ -224,6 +255,8 @@ EXACT_METRICS = ("sharded_delivered", "sharded_checked", "bus_delivered")
 ANALYSIS_RATE_METRICS = (
     "hotpath_analyses_per_s",
     "concurrency_analyses_per_s",
+    "wire_analyses_per_s",
+    "analysis_cache_warm_per_s",
     "repo_lint_per_s",
     "sharded_publish_per_s",
     "profile_parse_per_s",
@@ -231,6 +264,8 @@ ANALYSIS_RATE_METRICS = (
 ANALYSIS_EXACT_METRICS = (
     "hotpath_findings",
     "concurrency_findings",
+    "wire_findings",
+    "analysis_cache_hit_complete",
     "repo_lint_jobs_match",
     "sharded_single_delivered",
 )

@@ -29,7 +29,16 @@ codes:
   the same call graph (lock discipline, RTP fragment sequencing, SNMP
   sessions, subscription lifecycle; TSP001–007) plus callback-context
   concurrency discipline (shared-state mutation, synchronous republish,
-  cross-thread captures; CON001–003).
+  cross-thread captures; CON001–003);
+* :mod:`~repro.analysis.wireformat` — wire-format symmetry and decode
+  safety over auto-discovered encoder/decoder pairs (byte-layout
+  abstract interpretation; WIRE001–005), with a runtime twin in
+  :mod:`~repro.analysis.wirefuzz`: registry-driven differential fuzzing
+  (round-trip, truncation, bit-flip) cross-checked against the static
+  findings.
+
+Warm runs skip unchanged files via a content-hash
+:class:`~repro.analysis.cache.AnalysisCache` (``--cache``).
 
 CI gates on *new* findings only via a checked-in baseline
 (:mod:`~repro.analysis.baseline`), and emits SARIF for code-scanning
@@ -37,6 +46,7 @@ annotations (:mod:`~repro.analysis.sarif`).
 """
 
 from .baseline import apply_baseline, dump_baseline, fingerprint, load_baseline
+from .cache import DEFAULT_CACHE_NAME, AnalysisCache
 from .callgraph import (
     CallGraph,
     CallSite,
@@ -118,6 +128,22 @@ from .selector_analysis import (
     overlaps,
     selector_diagnostics,
 )
+from .wireformat import (
+    PAIR_METHOD_NAMES,
+    CodecPair,
+    analyze_wireformat,
+    wire_file,
+    wire_paths,
+    wire_source,
+)
+from .wirefuzz import (
+    FuzzCodecPair,
+    FuzzFailure,
+    FuzzReport,
+    default_registry,
+    fuzz_pair,
+    fuzz_registry,
+)
 
 __all__ = [
     "Diagnostic",
@@ -198,4 +224,18 @@ __all__ = [
     "load_baseline",
     "dump_baseline",
     "apply_baseline",
+    "PAIR_METHOD_NAMES",
+    "CodecPair",
+    "analyze_wireformat",
+    "wire_source",
+    "wire_file",
+    "wire_paths",
+    "FuzzCodecPair",
+    "FuzzFailure",
+    "FuzzReport",
+    "default_registry",
+    "fuzz_pair",
+    "fuzz_registry",
+    "AnalysisCache",
+    "DEFAULT_CACHE_NAME",
 ]

@@ -21,6 +21,9 @@ Examples::
     # document rules (all, or specific codes)
     python -m repro.analysis --explain
     python -m repro.analysis --explain TSP001 CON002
+
+    # incremental runs: skip unchanged files via a content-hash cache
+    python -m repro.analysis --cache
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ import sys
 from typing import Optional, Sequence
 
 from .baseline import apply_baseline, dump_baseline, load_baseline, stale_entries
+from .cache import DEFAULT_CACHE_NAME, AnalysisCache
 from .runner import AnalysisReport
 from .diagnostics import RULES, Severity
 from .runner import render_json, render_text, run_analysis
@@ -138,6 +142,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the lock-order/race pass (DLK/RACE rules)",
     )
     parser.add_argument(
+        "--no-wire",
+        action="store_true",
+        help="skip the wire-format symmetry/decode-safety pass (WIRE rules)",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE_NAME,
+        metavar="FILE",
+        help="reuse per-file/per-tree results across runs via FILE"
+        f" (default: {DEFAULT_CACHE_NAME}); content-hash keyed, salted by"
+        " the rule registry and --ignore set",
+    )
+    parser.add_argument(
         "--sanitize",
         metavar="REPORT",
         help="cross-check a runtime sanitizer JSON report (REPRO_SANITIZE=1"
@@ -177,6 +195,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     paths = args.paths or ([] if args.selector else _default_paths())
     timings: Optional[dict[str, float]] = {} if args.profile else None
+    cache = AnalysisCache.open(args.cache, ignore=args.ignore) if args.cache else None
     report = run_analysis(
         paths,
         selectors=args.selector,
@@ -186,10 +205,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         include_perf=not args.no_perf,
         include_det=not args.no_det,
         include_concurrency=not args.no_concurrency,
+        include_wire=not args.no_wire,
         ignore=args.ignore,
         profile=timings,
         jobs=args.jobs,
+        cache=cache,
     )
+    if cache is not None:
+        cache.save()
+        if args.profile:
+            print(
+                f"cache: {cache.hits} hit(s), {cache.misses} miss(es) -> {cache.path}",
+                file=sys.stderr,
+            )
     if args.sanitize:
         import json
 

@@ -133,6 +133,12 @@ RULES: dict[str, tuple[Severity, str]] = {
     "DET002": (Severity.WARNING, "wall-clock read reachable from simulation paths (use the virtual clock; harness timing needs an exemption-registry entry)"),
     "DET003": (Severity.WARNING, "unstable-order set iteration flows into an ordering-sensitive sink (sort before iterating)"),
     "DET004": (Severity.ERROR, "id()/object-hash() used in an ordering key (identity varies across runs)"),
+    # -- wire-format symmetry & decode safety ------------------------------
+    "WIRE001": (Severity.ERROR, "encoder and decoder disagree on field order, width, or endianness"),
+    "WIRE002": (Severity.ERROR, "decoder reads past len(data) on truncated input without a bounds guard"),
+    "WIRE003": (Severity.ERROR, "length-prefix field disagrees with the loop that produces or consumes it"),
+    "WIRE004": (Severity.WARNING, "magic-prefix message discrimination can collide with a peer codec's leading field"),
+    "WIRE005": (Severity.WARNING, "non-canonical encoding: unordered container iterated into wire bytes"),
 }
 
 

@@ -15,14 +15,16 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from .cache import AnalysisCache
 from .concurrency import concurrency_diagnostics
 from .dataflow import dataflow_diagnostics
 from .diagnostics import Diagnostic, Severity, filter_diagnostics, max_severity
 from .hotpath import det_diagnostics, perf_diagnostics
 from .policy_lint import lint_policy_database
-from .repo_lint import lint_paths
+from .repo_lint import _walk_py_files, lint_file, lint_paths
 from .selector_analysis import selector_diagnostics
 from .typestate import typestate_diagnostics
+from .wireformat import wire_file, wire_paths
 
 __all__ = ["AnalysisReport", "run_analysis", "analyze_defaults", "render_text", "render_json"]
 
@@ -81,10 +83,12 @@ def run_analysis(
     include_perf: bool = True,
     include_det: bool = True,
     include_concurrency: bool = True,
+    include_wire: bool = True,
     ignore: Iterable[str] = (),
     baseline: Optional[dict[str, int]] = None,
     profile: Optional[dict[str, float]] = None,
     jobs: int = 1,
+    cache: Optional[AnalysisCache] = None,
 ) -> AnalysisReport:
     """Run every requested pass and aggregate the findings.
 
@@ -94,8 +98,13 @@ def run_analysis(
     :mod:`~repro.analysis.baseline`) drops known findings so only new
     ones remain in the report.  Pass a dict as ``profile`` to receive
     per-rule-family wall times (seconds) in it.  ``jobs > 1`` fans the
-    per-file repo-lint pass out over worker processes; the final report
-    is sorted either way, so the output is identical to a serial run.
+    per-file repo-lint and WIRE passes out over worker processes; the
+    final report is sorted either way, so the output is identical to a
+    serial run.  An :class:`~repro.analysis.cache.AnalysisCache` skips
+    unchanged files (per-file passes) and unchanged trees (graph
+    passes); cached output is identical to a cold run's because entries
+    are keyed by content digest and salted by the rule registry and
+    ``ignore`` set.  The caller persists it with ``cache.save()``.
     """
     ignore = tuple(ignore)
     paths = tuple(paths)
@@ -107,10 +116,61 @@ def run_analysis(
         if profile is not None:
             profile[family] = profile.get(family, 0.0) + time.perf_counter() - t0
 
+    def per_file_pass(
+        family: str,
+        files: list[str],
+        whole: Callable[[], list[Diagnostic]],
+        one: Callable[[str], list[Diagnostic]],
+    ) -> list[Diagnostic]:
+        if cache is None:
+            return whole()
+        out: list[Diagnostic] = []
+        for path in files:
+            digest = cache.digest(path)
+            got = cache.get(family, path, digest)
+            if got is None:
+                got = one(path)
+                cache.put(family, path, digest, got)
+            out.extend(got)
+        return out
+
+    def graph_pass(
+        family: str,
+        tree_key: Optional[str],
+        produce: Callable[[], list[Diagnostic]],
+    ) -> list[Diagnostic]:
+        if cache is None or tree_key is None:
+            return produce()
+        key = f"{family}:{tree_key}"
+        got = cache.get_graph(key)
+        if got is None:
+            got = produce()
+            cache.put_graph(key, got)
+        return got
+
     if include_defaults:
         timed("defaults", lambda: analyze_defaults(ignore=ignore))
     if paths:
-        timed("repo-lint", lambda: lint_paths(paths, ignore=ignore, jobs=jobs))
+        files = _walk_py_files(paths) if cache is not None else []
+        timed(
+            "repo-lint",
+            lambda: per_file_pass(
+                "repo-lint",
+                files,
+                lambda: lint_paths(paths, ignore=ignore, jobs=jobs),
+                lambda p: lint_file(p, ignore=ignore),
+            ),
+        )
+        if include_wire:
+            timed(
+                "wire",
+                lambda: per_file_pass(
+                    "wire",
+                    files,
+                    lambda: wire_paths(paths, ignore=ignore, jobs=jobs),
+                    lambda p: wire_file(p, ignore=ignore),
+                ),
+            )
         if (
             include_dataflow
             or include_typestate
@@ -118,25 +178,40 @@ def run_analysis(
             or include_det
             or include_concurrency
         ):
-            from .callgraph import build_call_graph
+            tree_key = cache.tree_key(files) if cache is not None else None
+            # the graph is shared by every graph family but expensive to
+            # build; defer it so a fully warm cache never constructs it
+            graph_box: list = []
 
-            t0 = time.perf_counter()
-            graph = build_call_graph(paths)  # shared by every graph family
-            if profile is not None:
-                profile["callgraph"] = time.perf_counter() - t0
-            if include_dataflow:
-                timed("dataflow", lambda: dataflow_diagnostics(graph, ignore=ignore))
-            if include_typestate:
-                timed("typestate", lambda: typestate_diagnostics(graph, ignore=ignore))
-            if include_perf:
-                timed("perf", lambda: perf_diagnostics(graph, ignore=ignore))
-            if include_det:
-                timed("det", lambda: det_diagnostics(graph, ignore=ignore))
-            if include_concurrency:
-                timed(
-                    "concurrency",
-                    lambda: concurrency_diagnostics(graph, ignore=ignore),
-                )
+            def shared_graph():
+                if not graph_box:
+                    from .callgraph import build_call_graph
+
+                    t0 = time.perf_counter()
+                    graph_box.append(build_call_graph(paths))
+                    if profile is not None:
+                        profile["callgraph"] = time.perf_counter() - t0
+                return graph_box[0]
+
+            producers: dict[str, Callable[[], list[Diagnostic]]] = {
+                "dataflow": lambda: dataflow_diagnostics(shared_graph(), ignore=ignore),
+                "typestate": lambda: typestate_diagnostics(shared_graph(), ignore=ignore),
+                "perf": lambda: perf_diagnostics(shared_graph(), ignore=ignore),
+                "det": lambda: det_diagnostics(shared_graph(), ignore=ignore),
+                "concurrency": lambda: concurrency_diagnostics(shared_graph(), ignore=ignore),
+            }
+            for name, flag in (
+                ("dataflow", include_dataflow),
+                ("typestate", include_typestate),
+                ("perf", include_perf),
+                ("det", include_det),
+                ("concurrency", include_concurrency),
+            ):
+                if flag:
+                    timed(
+                        name,
+                        lambda name=name: graph_pass(name, tree_key, producers[name]),
+                    )
     for expr in selectors:
         timed(
             "selectors",

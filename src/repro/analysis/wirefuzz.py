@@ -1,0 +1,506 @@
+"""Differential fuzz harness: the WIRE pass's runtime twin.
+
+Where :mod:`repro.analysis.wireformat` proves codec-pair symmetry and
+decode safety *statically*, this module derives the corresponding
+runtime properties from an importing registry of the same codec pairs
+and drives them with deterministic, seeded inputs:
+
+* **round-trip** — ``decode(encode(v))`` must equal ``v`` for sampled
+  valid values;
+* **truncation at every offset** — ``decode(data[:k])`` for every
+  ``k < len(data)`` must either succeed or raise the codec's *declared*
+  error class, never ``struct.error``/``IndexError``/
+  ``UnicodeDecodeError``/``RecursionError``;
+* **seeded bit flips** — randomly corrupted copies of valid encodings
+  must likewise never escape the declared error class.
+
+Every failure is cross-checked against the static analyzer: a crash in a
+file the WIRE pass already flagged is a *confirmed* static finding; a
+crash in a WIRE-clean file is a gap in the static abstraction worth a
+rule or corpus entry.  CI runs ``python -m repro.analysis.wirefuzz
+--seed 1337`` and fails on any crash or round-trip mismatch.
+
+Determinism: per-pair seeds mix the CLI seed with ``zlib.crc32`` of the
+pair name (never ``hash()``, which is process-randomized), so runs are
+reproducible across machines and interpreter launches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = [
+    "FuzzCodecPair",
+    "FuzzFailure",
+    "FuzzReport",
+    "default_registry",
+    "fuzz_pair",
+    "fuzz_registry",
+    "main",
+]
+
+_SRC_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+@dataclass(frozen=True)
+class FuzzCodecPair:
+    """One registered encoder/decoder pair with its value sampler.
+
+    ``expected_errors`` must name the codec's *declared* error classes
+    exactly — not ``ValueError`` — so that e.g. an escaping
+    ``UnicodeDecodeError`` (a ``ValueError`` subclass) still counts as a
+    crash rather than being absorbed by a lax except clause.
+    """
+
+    name: str
+    encode: Callable[[Any], bytes]
+    decode: Callable[[bytes], Any]
+    sample: Callable[[random.Random], Any]
+    expected_errors: tuple[type, ...]
+    #: source file the static WIRE pass would flag for this codec
+    static_file: str
+    equal: Callable[[Any, Any], bool] = lambda a, b: a == b
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    pair: str
+    property: str  # "round-trip" | "truncation" | "bit-flip"
+    detail: str
+    static_file: str
+
+
+@dataclass
+class FuzzReport:
+    rounds: int = 0
+    truncations: int = 0
+    flips: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    def merge(self, other: "FuzzReport") -> None:
+        self.rounds += other.rounds
+        self.truncations += other.truncations
+        self.flips += other.flips
+        self.failures.extend(other.failures)
+
+
+# ----------------------------------------------------------------------
+# samplers
+# ----------------------------------------------------------------------
+_WORDS = ("alpha", "béta", "gamma", "Δelta", "epsilon", "", "zeta-9", "控制")
+
+
+def _s(rng: random.Random) -> str:
+    return rng.choice(_WORDS) + (str(rng.randrange(1000)) if rng.random() < 0.5 else "")
+
+
+def _b(rng: random.Random, cap: int = 48) -> bytes:
+    return rng.randbytes(rng.randrange(cap))
+
+
+def _u32(rng: random.Random) -> int:
+    return rng.randrange(2**32)
+
+
+def _event_samplers() -> dict[str, Callable[[random.Random], Any]]:
+    from ..core import events as ev
+
+    def whiteboard(rng: random.Random) -> Any:
+        return ev.WhiteboardEvent(
+            object_id=_s(rng),
+            op=rng.choice(("draw", "move", "erase")),
+            points=tuple(rng.uniform(-1e3, 1e3) for _ in range(rng.randrange(6))),
+            author=_s(rng),
+            version=_u32(rng),
+            timestamp=rng.uniform(0, 1e6),
+        )
+
+    def announce(rng: random.Random) -> Any:
+        return ev.ImageShareAnnounce(
+            image_id=_s(rng),
+            height=rng.randrange(2**16),
+            width=rng.randrange(2**16),
+            channels=rng.choice((1, 3)),
+            n_packets=rng.choice((1, 2, 4, 8, 16)),
+            total_bits=rng.randrange(2**40),
+            description=_s(rng),
+            levels=rng.randrange(1, 8),
+            t0_exps=tuple(rng.randrange(-64, 64) for _ in range(rng.randrange(4))),
+        )
+
+    return {
+        "ChatEvent": lambda rng: ev.ChatEvent(author=_s(rng), text=_s(rng)),
+        "WhiteboardEvent": whiteboard,
+        "ImageShareAnnounce": announce,
+        "ImagePacketEvent": lambda rng: ev.ImagePacketEvent(
+            image_id=_s(rng),
+            packet_index=rng.randrange(16),
+            packet_total=16,
+            payload=_b(rng),
+        ),
+        "TextShareEvent": lambda rng: ev.TextShareEvent(ref_id=_s(rng), text=_s(rng)),
+        "SketchShareEvent": lambda rng: ev.SketchShareEvent(
+            ref_id=_s(rng),
+            sketch_h=rng.randrange(64),
+            sketch_w=rng.randrange(64),
+            encoded=_b(rng),
+        ),
+        "SpeechShareEvent": lambda rng: ev.SpeechShareEvent(
+            ref_id=_s(rng), sample_rate=8000, samples_u8=_b(rng)
+        ),
+        "JoinEvent": lambda rng: ev.JoinEvent(client_id=_s(rng), objective=_s(rng)),
+        "LeaveEvent": lambda rng: ev.LeaveEvent(client_id=_s(rng)),
+        "ProfileUpdateEvent": lambda rng: ev.ProfileUpdateEvent(
+            client_id=_s(rng),
+            changes=tuple((_s(rng), _s(rng)) for _ in range(rng.randrange(4))),
+        ),
+        "PowerControlRequest": lambda rng: ev.PowerControlRequest(
+            client_id=_s(rng), new_power=rng.uniform(0.1, 2.0), reason=_s(rng)
+        ),
+        "HistoryRequest": lambda rng: ev.HistoryRequest(
+            client_id=_s(rng),
+            since=rng.uniform(0, 1e5),
+            kinds=tuple(_s(rng) for _ in range(rng.randrange(3))),
+        ),
+        "ImageRepairRequest": lambda rng: ev.ImageRepairRequest(
+            client_id=_s(rng),
+            image_id=_s(rng),
+            packet_indices=tuple(_u32(rng) for _ in range(rng.randrange(5))),
+        ),
+        "LockRequestEvent": lambda rng: ev.LockRequestEvent(
+            client_id=_s(rng), object_id=_s(rng)
+        ),
+        "LockReleaseEvent": lambda rng: ev.LockReleaseEvent(
+            client_id=_s(rng), object_id=_s(rng)
+        ),
+        "LockGrantEvent": lambda rng: ev.LockGrantEvent(
+            client_id=_s(rng), object_id=_s(rng), granted=rng.random() < 0.5
+        ),
+    }
+
+
+def _sample_ber(rng: random.Random, depth: int = 0) -> Any:
+    from ..snmp import ber
+
+    primitive: tuple[Callable[[], Any], ...] = (
+        lambda: ber.Integer(rng.randrange(-(2**31), 2**31)),
+        lambda: ber.OctetString(_b(rng)),
+        lambda: ber.Null(),
+        lambda: ber.ObjectIdentifierValue(
+            (1, 3) + tuple(rng.randrange(2**14) for _ in range(rng.randrange(6)))
+        ),
+        lambda: ber.IpAddress(rng.randbytes(4)),
+        lambda: ber.Counter32(_u32(rng)),
+        lambda: ber.Gauge32(_u32(rng)),
+        lambda: ber.TimeTicks(_u32(rng)),
+        lambda: ber.Counter64(rng.randrange(2**64)),
+    )
+    if depth >= 2 or rng.random() < 0.6:
+        return rng.choice(primitive)()
+    items = tuple(_sample_ber(rng, depth + 1) for _ in range(rng.randrange(3)))
+    if rng.random() < 0.5:
+        return ber.Sequence(items)
+    return ber.TaggedPdu(0xA0 | rng.randrange(4), items)
+
+
+def _sample_message(rng: random.Random) -> Any:
+    from ..core.matching_engine import compile_selector
+    from ..messaging.message import MessageId, SemanticMessage
+
+    selectors = (
+        "true",
+        "role == 'medic'",
+        "tier >= 2 and role == 'scout'",
+        "cell == 'c7' or tier < 1",
+    )
+    headers: dict[str, Any] = {}
+    for _ in range(rng.randrange(4)):
+        key = _s(rng) or "k"
+        headers[key] = rng.choice(
+            (
+                lambda: _s(rng),
+                lambda: rng.randrange(-(2**31), 2**31),
+                lambda: rng.uniform(-1e6, 1e6),
+                lambda: rng.random() < 0.5,
+                lambda: [rng.randrange(100) for _ in range(rng.randrange(3))],
+            )
+        )()
+    return SemanticMessage(
+        msg_id=MessageId(_s(rng) or "sender", rng.randrange(2**20)),
+        selector=compile_selector(rng.choice(selectors)),
+        headers=headers,
+        body=_b(rng),
+        kind=rng.choice(("chat", "whiteboard", "bench")),
+        sender=_s(rng) or "sender",
+    )
+
+
+def _message_equal(a: Any, b: Any) -> bool:
+    return (
+        a.msg_id == b.msg_id
+        and a.kind == b.kind
+        and a.sender == b.sender
+        and a.selector.text == b.selector.text
+        and a.headers == b.headers
+        and a.body == b.body
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def default_registry() -> list[FuzzCodecPair]:
+    """Every shipped codec pair, with samplers and declared errors."""
+    from ..core import events as ev
+    from ..media.progressive import ImagePacket, ImagePacketError
+    from ..messaging import rtp
+    from ..messaging.serialization import WireError, decode_message, encode_message
+    from ..snmp import ber
+
+    events_file = os.path.join(_SRC_ROOT, "repro", "core", "events.py")
+    pairs: list[FuzzCodecPair] = []
+    samplers = _event_samplers()
+    for cls_name, sampler in sorted(samplers.items()):
+        cls = getattr(ev, cls_name)
+        pairs.append(
+            FuzzCodecPair(
+                name=f"events.{cls_name}",
+                encode=lambda e: e.to_body(),
+                decode=cls.from_body,
+                sample=sampler,
+                expected_errors=(ev.EventError,),
+                static_file=events_file,
+            )
+        )
+
+    def sample_rtp(rng: random.Random) -> rtp.RtpPacket:
+        frag_count = rng.randrange(1, 5)
+        return rtp.RtpPacket(
+            ssrc=_u32(rng),
+            msg_seq=_u32(rng),
+            frag_index=rng.randrange(frag_count),
+            frag_count=frag_count,
+            seq=_u32(rng),
+            payload=_b(rng),
+        )
+
+    pairs.append(
+        FuzzCodecPair(
+            name="rtp.RtpPacket",
+            encode=lambda p: p.encode(),
+            decode=rtp.RtpPacket.decode,
+            sample=sample_rtp,
+            expected_errors=(rtp.RtpError,),
+            static_file=os.path.join(_SRC_ROOT, "repro", "messaging", "rtp.py"),
+        )
+    )
+    pairs.append(
+        FuzzCodecPair(
+            name="rtp.nack",
+            encode=lambda t: rtp.encode_nack(*t),
+            decode=rtp.decode_nack,
+            sample=lambda rng: (
+                _u32(rng),
+                _u32(rng),
+                tuple(rng.randrange(2**16) for _ in range(rng.randrange(1, 6))),
+            ),
+            expected_errors=(rtp.RtpError,),
+            static_file=os.path.join(_SRC_ROOT, "repro", "messaging", "rtp.py"),
+        )
+    )
+    pairs.append(
+        FuzzCodecPair(
+            name="progressive.ImagePacket",
+            encode=lambda p: p.to_bytes(),
+            decode=ImagePacket.from_bytes,
+            sample=lambda rng: ImagePacket(
+                index=rng.randrange(16),
+                total=16,
+                chunks=tuple(
+                    (_b(rng), rng.randrange(2**20)) for _ in range(rng.randrange(1, 4))
+                ),
+            ),
+            expected_errors=(ImagePacketError,),
+            static_file=os.path.join(_SRC_ROOT, "repro", "media", "progressive.py"),
+        )
+    )
+    pairs.append(
+        FuzzCodecPair(
+            name="serialization.SemanticMessage",
+            encode=encode_message,
+            decode=decode_message,
+            sample=_sample_message,
+            expected_errors=(WireError,),
+            static_file=os.path.join(
+                _SRC_ROOT, "repro", "messaging", "serialization.py"
+            ),
+            equal=_message_equal,
+        )
+    )
+
+    def decode_ber(data: bytes) -> Any:
+        value, end = ber.decode(data)
+        if end != len(data):
+            raise ber.BerError(f"trailing bytes after TLV: {len(data) - end}")
+        return value
+
+    pairs.append(
+        FuzzCodecPair(
+            name="ber.BerValue",
+            encode=ber.encode,
+            decode=decode_ber,
+            sample=_sample_ber,
+            expected_errors=(ber.BerError,),
+            static_file=os.path.join(_SRC_ROOT, "repro", "snmp", "ber.py"),
+        )
+    )
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+def _pair_seed(seed: int, name: str) -> int:
+    return seed ^ zlib.crc32(name.encode("utf-8"))
+
+
+def _flip_bits(data: bytes, rng: random.Random, max_flips: int = 3) -> bytes:
+    out = bytearray(data)
+    for _ in range(rng.randrange(1, max_flips + 1)):
+        i = rng.randrange(len(out))
+        out[i] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def fuzz_pair(
+    pair: FuzzCodecPair, *, seed: int, rounds: int = 8, flips_per_round: int = 16
+) -> FuzzReport:
+    """Round-trip + truncation-at-every-offset + seeded bit flips."""
+    rng = random.Random(_pair_seed(seed, pair.name))
+    report = FuzzReport()
+
+    def crash(prop: str, exc: BaseException, data: bytes) -> None:
+        report.failures.append(
+            FuzzFailure(
+                pair=pair.name,
+                property=prop,
+                detail=f"{type(exc).__name__}: {exc} (input {data[:40].hex()}…)"
+                if len(data) > 40
+                else f"{type(exc).__name__}: {exc} (input {data.hex()})",
+                static_file=pair.static_file,
+            )
+        )
+
+    for _ in range(rounds):
+        report.rounds += 1
+        value = pair.sample(rng)
+        data = pair.encode(value)
+        try:
+            decoded = pair.decode(data)
+        except Exception as exc:  # a valid encoding must always decode
+            crash("round-trip", exc, data)
+            continue
+        if not pair.equal(value, decoded):
+            report.failures.append(
+                FuzzFailure(
+                    pair=pair.name,
+                    property="round-trip",
+                    detail=f"decode(encode(v)) != v: {value!r} -> {decoded!r}",
+                    static_file=pair.static_file,
+                )
+            )
+        for k in range(len(data)):
+            report.truncations += 1
+            try:
+                pair.decode(data[:k])
+            except pair.expected_errors:
+                pass
+            except Exception as exc:
+                crash("truncation", exc, data[:k])
+                break
+        if data:
+            for _ in range(flips_per_round):
+                report.flips += 1
+                corrupted = _flip_bits(data, rng)
+                try:
+                    pair.decode(corrupted)
+                except pair.expected_errors:
+                    pass
+                except Exception as exc:
+                    crash("bit-flip", exc, corrupted)
+                    break
+    return report
+
+
+def fuzz_registry(
+    pairs: Optional[Sequence[FuzzCodecPair]] = None,
+    *,
+    seed: int = 1337,
+    rounds: int = 8,
+) -> FuzzReport:
+    """Fuzz every registered pair; one merged report."""
+    report = FuzzReport()
+    for pair in pairs if pairs is not None else default_registry():
+        report.merge(fuzz_pair(pair, seed=seed, rounds=rounds))
+    return report
+
+
+def _cross_check(failures: list[FuzzFailure]) -> list[str]:
+    """Relate runtime crashes to the static pass's current findings."""
+    from .wireformat import wire_file
+
+    lines = []
+    flagged_cache: dict[str, bool] = {}
+    for f in failures:
+        flagged = flagged_cache.get(f.static_file)
+        if flagged is None:
+            try:
+                flagged = any(
+                    d.code == "WIRE002" for d in wire_file(f.static_file)
+                )
+            except OSError:
+                flagged = False
+            flagged_cache[f.static_file] = flagged
+        verdict = (
+            "confirms a static WIRE002 finding"
+            if flagged
+            else "NOT predicted by the static pass — abstraction gap"
+        )
+        lines.append(f"  [{f.pair}] {f.property}: {f.detail} ({verdict})")
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.wirefuzz",
+        description="registry-driven differential fuzz over every wire codec",
+    )
+    parser.add_argument("--seed", type=int, default=1337)
+    parser.add_argument("--rounds", type=int, default=8, help="samples per codec pair")
+    args = parser.parse_args(argv)
+    report = fuzz_registry(seed=args.seed, rounds=args.rounds)
+    n_pairs = len(default_registry())
+    print(
+        f"fuzzed {n_pairs} codec pair(s): {report.rounds} round-trips, "
+        f"{report.truncations} truncations, {report.flips} bit-flips "
+        f"(seed {args.seed})"
+    )
+    if report.failures:
+        print(f"{len(report.failures)} FAILURE(S):", file=sys.stderr)
+        for line in _cross_check(report.failures):
+            print(line, file=sys.stderr)
+        return 1
+    print("all codecs total: no uncaught decoder exception, round-trips exact")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

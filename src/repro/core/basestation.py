@@ -55,6 +55,7 @@ from .events import (
     SketchShareEvent,
     SpeechShareEvent,
     TextShareEvent,
+    EventError,
     decode_event,
 )
 from .policies import ModalityTier, PolicyDatabase, default_policy_database
@@ -498,7 +499,8 @@ class BaseStation:
         msg = delivery.message
         try:
             event = decode_event(msg.kind, msg.body)
-        except Exception:
+        except EventError:
+            self.decode_failures += 1
             return
         # keep the BS's own replica of shared images (for central transforms)
         if isinstance(event, ImageShareAnnounce):
@@ -535,7 +537,8 @@ class BaseStation:
             return
         try:
             event = decode_event(msg.kind, msg.body)
-        except Exception:
+        except EventError:
+            self.decode_failures += 1
             return
         sender = msg.sender
         if isinstance(event, ProfileUpdateEvent):

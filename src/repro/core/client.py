@@ -52,6 +52,7 @@ from .events import (
     SketchShareEvent,
     TextShareEvent,
     WhiteboardEvent,
+    EventError,
     decode_event,
 )
 from .inference import AdaptationDecision, InferenceEngine
@@ -236,8 +237,10 @@ class WiredClient:
         self.archive.record(now, msg)
         try:
             event = decode_event(msg.kind, msg.body)
-        except Exception:
-            return  # undecodable event: drop, substrate already counted it
+        except EventError:
+            # undecodable event: drop and count, never abort the dispatch loop
+            self.endpoint.decode_failures += 1
+            return
         self.events_received.append((now, event))
         effective_modality = delivery.result.effective_headers.get("modality")
 

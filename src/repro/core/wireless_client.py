@@ -29,6 +29,7 @@ from .events import (
     ProfileUpdateEvent,
     SketchShareEvent,
     TextShareEvent,
+    EventError,
     decode_event,
 )
 from .profiles import ClientProfile
@@ -205,7 +206,8 @@ class WirelessClient:
         now = self.scheduler.clock.now
         try:
             event = decode_event(message.kind, message.body)
-        except Exception:
+        except EventError:
+            self.decode_failures += 1
             return
         self.received_events.append((now, event))
         if isinstance(event, TextShareEvent):

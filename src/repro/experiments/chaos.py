@@ -5,16 +5,21 @@ an image, and run their adaptation loops while a seeded
 :class:`~repro.network.faults.FaultPlan` degrades the deployment — the
 sender's access link flaps, one client is partitioned off, another
 host's SNMP agent crashes, and the LAN suffers a burst-loss episode, a
-latency spike, and a duplication window.  The run demonstrates the
-framework's graceful-degradation machinery end to end:
+payload-corruption window, a latency spike, and a duplication window.
+The run demonstrates the framework's graceful-degradation machinery end
+to end:
 
 * SNMP retries back off in virtual time and the per-agent circuit
   breaker fails fast while an agent is down;
 * adaptation decisions fall back to the conservative floor once the
   management plane is dark beyond its stale grace;
 * NACK-driven selective retransmission repairs fragment loss;
+* corrupted datagrams hit every receiver's hardened decode path: they
+  are counted (``decode_failures``) and dropped, never fatal;
 * the packet-disposition conservation invariant
-  (``sent == delivered + dropped + duplicated``) holds throughout.
+  (``sent == delivered + dropped + duplicated``) holds throughout —
+  corruption damages a delivered packet's payload, it is neither a drop
+  nor a duplicate.
 
 Everything is driven by the virtual clock and seeded RNGs, so two runs
 with the same seed produce *byte-identical* telemetry
@@ -30,6 +35,7 @@ from ..network.faults import (
     AgentCrash,
     BurstLoss,
     ChaosController,
+    Corruption,
     Duplication,
     FaultPlan,
     LatencySpike,
@@ -54,6 +60,7 @@ def default_chaos_plan() -> FaultPlan:
             BurstLoss("bob", "lan-switch", start=7.0, duration=3.0),
             Partition(("carol",), start=10.0, duration=3.0),
             AgentCrash("bob", start=13.0, duration=5.0),
+            Corruption(start=15.0, duration=3.0, probability=0.4),
             LatencySpike(start=18.0, duration=2.0, extra=0.05),
             Duplication(start=19.0, duration=3.5, probability=0.6),
             Reordering(start=20.0, duration=2.0, probability=0.3),

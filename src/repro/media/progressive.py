@@ -22,7 +22,11 @@ from .ezw import EzwEncoded, decode_image, encode_image
 from .metrics import bpp, compression_ratio, psnr
 from .wavelet import max_levels
 
-__all__ = ["ImagePacket", "ProgressiveImage", "ReceptionReport", "PACKET_COUNTS"]
+__all__ = ["ImagePacket", "ImagePacketError", "ProgressiveImage", "ReceptionReport", "PACKET_COUNTS"]
+
+
+class ImagePacketError(ValueError):
+    """Raised on truncated or corrupt image-packet bytes."""
 
 #: The packet counts the paper's inference engine selects among (FIG6).
 PACKET_COUNTS = (1, 2, 4, 8, 16)
@@ -61,17 +65,26 @@ class ImagePacket:
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "ImagePacket":
-        """Inverse of :meth:`to_bytes`."""
+        """Inverse of :meth:`to_bytes`; :class:`ImagePacketError` on
+        truncated or corrupt input (short slices would otherwise decode
+        silently-wrong values, not just crash)."""
+        if len(raw) < 5:
+            raise ImagePacketError(f"packet header needs 5 bytes, have {len(raw)}")
         index = int.from_bytes(raw[0:2], "big")
         total = int.from_bytes(raw[2:4], "big")
         n_chunks = raw[4]
         chunks = []
         pos = 5
         for _ in range(n_chunks):
+            if pos + 8 > len(raw):
+                raise ImagePacketError("truncated chunk header")
             bits = int.from_bytes(raw[pos : pos + 4], "big")
             ln = int.from_bytes(raw[pos + 4 : pos + 8], "big")
-            chunks.append((raw[pos + 8 : pos + 8 + ln], bits))
-            pos += 8 + ln
+            end = pos + 8 + ln
+            if end > len(raw):
+                raise ImagePacketError(f"chunk payload runs past the packet: need {end} byte(s), have {len(raw)}")
+            chunks.append((raw[pos + 8 : end], bits))
+            pos = end
         return cls(index, total, tuple(chunks))
 
 

@@ -27,6 +27,7 @@ from typing import Any
 
 from ..core.attributes import AttributeValue
 from ..core.matching_engine import compile_selector
+from ..core.selectors import SelectorError
 from .message import MessageId, SemanticMessage
 
 __all__ = ["encode_message", "decode_message", "WireError"]
@@ -89,7 +90,11 @@ def _read_str(data: bytes, pos: int) -> tuple[str, int]:
     n, pos = _read_varint(data, pos)
     if pos + n > len(data):
         raise WireError("truncated string")
-    return data[pos : pos + n].decode("utf-8"), pos + n
+    raw = data[pos : pos + n]
+    try:
+        return raw.decode("utf-8"), pos + n
+    except UnicodeDecodeError as exc:
+        raise WireError("wire string is not valid UTF-8") from exc
 
 
 def _write_value(out: bytearray, value: Any, allow_list: bool = True) -> None:
@@ -185,9 +190,13 @@ def decode_message(data: bytes) -> SemanticMessage:
     if pos + body_len > len(data):
         raise WireError("truncated body")
     body = data[pos : pos + body_len]
+    try:
+        selector = compile_selector(selector_text)
+    except SelectorError as exc:
+        raise WireError(f"message carries an unparseable selector: {exc}") from exc
     return SemanticMessage(
         msg_id=MessageId(id_sender, seq),
-        selector=compile_selector(selector_text),
+        selector=selector,
         headers=headers,
         body=body,
         kind=kind,

@@ -12,6 +12,7 @@ from .faults import (
     AgentCrash,
     BurstLoss,
     ChaosController,
+    Corruption,
     Duplication,
     FaultPlan,
     FaultPlanError,
@@ -38,6 +39,7 @@ __all__ = [
     "AgentCrash",
     "BurstLoss",
     "ChaosController",
+    "Corruption",
     "Duplication",
     "FaultPlan",
     "FaultPlanError",

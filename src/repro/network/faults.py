@@ -21,6 +21,9 @@ Supported fault events
   a given probability, causing reordering against FIFO peers.
 * :class:`LatencySpike` — constant extra delay on every delivered packet
   (optionally only traffic crossing chosen links).
+* :class:`Corruption` — delivered packets have 1..``max_flips`` payload
+  bits flipped with a given probability during the window (the receiving
+  decoder, not the network, must survive the damage).
 * :class:`AgentCrash` — an SNMP agent stops answering for the window
   (managers see timeouts; the management plane itself degrades).
 
@@ -48,7 +51,7 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 import numpy as np
@@ -66,6 +69,7 @@ __all__ = [
     "Duplication",
     "Reordering",
     "LatencySpike",
+    "Corruption",
     "AgentCrash",
     "FaultEvent",
     "FaultPlan",
@@ -203,6 +207,29 @@ class LatencySpike:
 
 
 @dataclass(frozen=True)
+class Corruption:
+    """Flip 1..``max_flips`` payload bits of a delivered packet with
+    ``probability`` during the window.
+
+    Corruption happens *after* routing and loss: the packet still arrives
+    on time, but its payload is damaged, so the receiving codec's decode
+    path — not the transport — is what the fault exercises.  Empty
+    payloads pass through untouched.
+    """
+
+    start: float
+    duration: float
+    probability: float = 0.05
+    max_flips: int = 3
+
+    def __post_init__(self) -> None:
+        _check_window("Corruption", self.start, self.duration)
+        _check_probability("Corruption.probability", self.probability)
+        if self.max_flips < 1:
+            raise FaultPlanError("Corruption: max_flips must be at least 1")
+
+
+@dataclass(frozen=True)
 class AgentCrash:
     """The SNMP agent on ``host`` crashes at ``start`` and restarts after
     ``duration`` seconds (managers see timeouts in between)."""
@@ -216,7 +243,14 @@ class AgentCrash:
 
 
 FaultEvent = Union[
-    LinkFlap, Partition, BurstLoss, Duplication, Reordering, LatencySpike, AgentCrash
+    LinkFlap,
+    Partition,
+    BurstLoss,
+    Duplication,
+    Reordering,
+    LatencySpike,
+    Corruption,
+    AgentCrash,
 ]
 
 #: deterministic ordering key so identical plans install identically even
@@ -237,7 +271,7 @@ class FaultPlan:
             if not isinstance(
                 ev,
                 (LinkFlap, Partition, BurstLoss, Duplication, Reordering,
-                 LatencySpike, AgentCrash),
+                 LatencySpike, Corruption, AgentCrash),
             ):
                 raise FaultPlanError(f"not a fault event: {ev!r}")
 
@@ -252,7 +286,8 @@ class FaultPlan:
     def needs_interceptor(self) -> bool:
         """Whether any event requires the per-packet delivery hook."""
         return any(
-            isinstance(ev, (Duplication, Reordering, LatencySpike)) for ev in self.events
+            isinstance(ev, (Duplication, Reordering, LatencySpike, Corruption))
+            for ev in self.events
         )
 
     def describe(self) -> list[str]:
@@ -332,6 +367,7 @@ class ChaosController:
         self._dups: list[Duplication] = []
         self._reorders: list[Reordering] = []
         self._spikes: list[LatencySpike] = []
+        self._corruptions: list[Corruption] = []
         # telemetry (all deterministic under a fixed seed)
         self.flaps = 0
         self.partitions = 0
@@ -341,6 +377,7 @@ class ChaosController:
         self.duplicated = 0
         self.reordered = 0
         self.delayed = 0
+        self.corrupted = 0
         self.links_cut = 0
         self.events_started = 0
         self.events_ended = 0
@@ -404,6 +441,8 @@ class ChaosController:
             self._reorders.append(ev)
         elif isinstance(ev, LatencySpike):
             self._spikes.append(ev)
+        elif isinstance(ev, Corruption):
+            self._corruptions.append(ev)
         elif isinstance(ev, AgentCrash):
             self.crashes += 1
             self.agents[ev.host].crash()
@@ -429,6 +468,8 @@ class ChaosController:
             self._reorders.remove(ev)
         elif isinstance(ev, LatencySpike):
             self._spikes.remove(ev)
+        elif isinstance(ev, Corruption):
+            self._corruptions.remove(ev)
         elif isinstance(ev, AgentCrash):
             self.restarts += 1
             self.agents[ev.host].restart()
@@ -472,7 +513,9 @@ class ChaosController:
     # ------------------------------------------------------------------
     # per-packet hook (only installed when the plan needs it)
     # ------------------------------------------------------------------
-    def _intercept(self, packet: Packet, path: list[Link], t: float) -> list[float]:
+    def _intercept(
+        self, packet: Packet, path: list[Link], t: float
+    ) -> list[Union[float, tuple[float, Packet]]]:
         extra = 0.0
         for spike in self._spikes:
             if spike.links is None or self._path_crosses(path, spike.links):
@@ -487,7 +530,31 @@ class ChaosController:
             if self.rng.random() < dup.probability:
                 times.append(t + extra + float(self.rng.uniform(0.0, dup.spread)))
                 self.duplicated += 1
-        return times
+        # each delivery copy rolls corruption independently; a corrupted
+        # copy becomes a (time, substitute) entry carrying damaged bytes
+        entries: list[Union[float, tuple[float, Packet]]] = []
+        for td in times:
+            damaged = self._corrupt_payload(packet.payload)
+            if damaged is None:
+                entries.append(td)
+            else:
+                entries.append((td, replace(packet, payload=damaged)))
+        return entries
+
+    def _corrupt_payload(self, payload: bytes) -> Optional[bytes]:
+        """Damaged copy of ``payload``, or ``None`` if it passes unscathed."""
+        if not payload:
+            return None
+        damaged = None
+        for corr in self._corruptions:
+            if self.rng.random() < corr.probability:
+                buf = bytearray(damaged if damaged is not None else payload)
+                flips = int(self.rng.integers(1, corr.max_flips + 1))
+                for bit in self.rng.integers(0, len(buf) * 8, size=flips):
+                    buf[int(bit) // 8] ^= 1 << (int(bit) % 8)
+                damaged = bytes(buf)
+                self.corrupted += 1
+        return damaged
 
     @staticmethod
     def _path_crosses(
@@ -501,6 +568,7 @@ class ChaosController:
         """Deterministic counter snapshot (sorted keys, ints only)."""
         return {
             "bursts": self.bursts,
+            "corrupted": self.corrupted,
             "crashes": self.crashes,
             "delayed": self.delayed,
             "duplicated": self.duplicated,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 import numpy as np
 
@@ -200,10 +200,15 @@ class Network:
         self._route_cache: dict[tuple[Address, Address], Optional[list[Link]]] = {}
         #: optional fault hook (see :mod:`repro.network.faults`): called as
         #: ``interceptor(packet, path, t)`` for every packet that survived
-        #: routing and loss, returning the list of delivery times — ``[t]``
+        #: routing and loss, returning the list of deliveries — ``[t]``
         #: to deliver normally, ``[]`` to drop, two entries to duplicate.
+        #: An entry may also be ``(t, substitute_packet)`` to deliver a
+        #: modified copy (payload corruption) at that time instead.
         self.delivery_interceptor: Optional[
-            Callable[[Packet, list[Link], float], list[float]]
+            Callable[
+                [Packet, list[Link], float],
+                list[Union[float, tuple[float, Packet]]],
+            ]
         ] = None
         # Per-packet disposition counters: every send() ends in exactly
         # one of delivered / dropped / duplicated (delivered-more-than-once),
@@ -391,8 +396,15 @@ class Network:
         self.copies_delivered += len(times)
         path[-1].delivered_packets += len(times)
         deliver = self._nodes[packet.dst].deliver
-        for td in times:
-            self.scheduler.call_at(td, deliver, packet)
+        for entry in times:
+            # (time, substitute) entries deliver a corrupted copy; the
+            # disposition counters above are untouched — corruption is
+            # neither a drop nor a duplicate
+            if isinstance(entry, tuple):
+                td, copy = entry
+                self.scheduler.call_at(td, deliver, copy)
+            else:
+                self.scheduler.call_at(entry, deliver, packet)
         return True
 
     def path_latency(self, src: Address, dst: Address) -> float:

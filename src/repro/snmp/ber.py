@@ -412,8 +412,15 @@ def _decode_unsigned(body: bytes, bits: int) -> int:
     return v
 
 
-def decode(data: bytes, offset: int = 0) -> tuple[BerValue, int]:
+#: SNMP PDUs nest a handful of levels; a kilobyte of 0xA0 tag bytes would
+#: otherwise recurse thousands of frames deep and die with RecursionError.
+_MAX_NESTING = 32
+
+
+def decode(data: bytes, offset: int = 0, *, _depth: int = 0) -> tuple[BerValue, int]:
     """Decode one TLV at ``offset``; returns ``(value, next_offset)``."""
+    if _depth > _MAX_NESTING:
+        raise BerError(f"constructed TLVs nested deeper than {_MAX_NESTING}")
     if offset >= len(data):
         raise BerError("truncated TLV: no tag")
     tag = data[offset]
@@ -423,19 +430,19 @@ def decode(data: bytes, offset: int = 0) -> tuple[BerValue, int]:
         raise BerError(f"truncated TLV body: need {body_end}, have {len(data)}")
     body = data[body_start:body_end]
     if tag == TAG_SEQUENCE:
-        return Sequence(tuple(_decode_all(body))), body_end
+        return Sequence(tuple(_decode_all(body, _depth + 1))), body_end
     if (tag & 0xE0) == 0xA0:  # context-class constructed: a PDU
-        return TaggedPdu(tag, tuple(_decode_all(body))), body_end
+        return TaggedPdu(tag, tuple(_decode_all(body, _depth + 1))), body_end
     decoder = _PRIMITIVE_DECODERS.get(tag)
     if decoder is None:
         raise BerError(f"unsupported BER tag 0x{tag:02X}")
     return decoder(body), body_end
 
 
-def _decode_all(body: bytes) -> Iterable[BerValue]:
+def _decode_all(body: bytes, _depth: int = 0) -> Iterable[BerValue]:
     out = []
     offset = 0
     while offset < len(body):
-        value, offset = decode(body, offset)
+        value, offset = decode(body, offset, _depth=_depth)
         out.append(value)
     return out

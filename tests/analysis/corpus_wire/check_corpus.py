@@ -1,0 +1,30 @@
+"""Golden-corpus gate: the known-bad wire-format corpus must produce
+exactly the expected WIRE diagnostics, and the known-good twins none at
+all.
+
+CI runs this after the main analyzer gate::
+
+    python tests/analysis/corpus_wire/check_corpus.py
+
+Regenerate the expectation with ``--update``.  The actual driver lives
+in :mod:`tests.analysis.corpus_common`.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, ".."))
+
+from corpus_common import run_corpus_gate  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(
+        run_corpus_gate(
+            sys.argv[1:],
+            here=HERE,
+            family="wire",
+            analyzer_name="analyze_wireformat",
+            clean_files=("wire_clean.py",),
+        )
+    )

@@ -1,0 +1,127 @@
+"""Incremental-cache suite: warm output must be byte-identical to cold,
+and every correctness escape hatch (salt, corruption, edits) must
+invalidate rather than mask.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache, _salt
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.runner import run_analysis
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+TREE = os.path.join(REPO_ROOT, "src", "repro", "media")
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return str(tmp_path / "analysis-cache.json")
+
+
+class TestCacheStore:
+    def test_roundtrip_persists_diagnostics(self, cache_path, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        diag = Diagnostic(
+            "WIRE002",
+            Severity.ERROR,
+            "unguarded read",
+            subject="mod.py:f",
+            file=str(target),
+            line=3,
+            column=7,
+        )
+        cache = AnalysisCache.open(cache_path)
+        digest = cache.digest(str(target))
+        cache.put("wire", str(target), digest, [diag])
+        cache.save()
+
+        warm = AnalysisCache.open(cache_path)
+        assert warm.get("wire", str(target), digest) == [diag]
+        assert warm.hits == 1
+
+    def test_changed_content_misses(self, cache_path, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        cache = AnalysisCache.open(cache_path)
+        cache.put("wire", str(target), cache.digest(str(target)), [])
+        cache.save()
+
+        target.write_text("x = 2\n")
+        warm = AnalysisCache.open(cache_path)
+        assert warm.get("wire", str(target), warm.digest(str(target))) is None
+        assert warm.misses == 1
+
+    def test_wrong_salt_yields_empty_cache(self, cache_path, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        cache = AnalysisCache.open(cache_path)
+        cache.put("wire", str(target), cache.digest(str(target)), [])
+        cache.save()
+
+        # a different ignore set changes the salt: entries unreadable
+        other = AnalysisCache.open(cache_path, ignore=("WIRE004",))
+        assert other.get("wire", str(target), other.digest(str(target))) is None
+        assert _salt(()) != _salt(("WIRE004",))
+
+    def test_corrupt_file_degrades_to_empty(self, cache_path):
+        with open(cache_path, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        cache = AnalysisCache.open(cache_path)
+        assert cache._files == {} and cache._graphs == {}
+
+    def test_wrong_shape_payload_degrades_to_empty(self, cache_path):
+        with open(cache_path, "w", encoding="utf-8") as fh:
+            json.dump(["not", "a", "dict"], fh)
+        cache = AnalysisCache.open(cache_path)
+        assert cache._files == {}
+
+    def test_save_is_atomic(self, cache_path):
+        cache = AnalysisCache.open(cache_path)
+        cache.put_graph("dataflow:abc", [])
+        cache.save()
+        assert os.path.exists(cache_path)
+        assert not os.path.exists(cache_path + ".tmp")
+
+    def test_in_memory_cache_never_touches_disk(self, tmp_path):
+        cache = AnalysisCache.open(None)
+        cache.put_graph("k", [])
+        cache.save()  # no-op
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestRunnerIntegration:
+    def test_warm_run_identical_to_cold_and_uncached(self, cache_path):
+        uncached = run_analysis([TREE])
+
+        cold = AnalysisCache.open(cache_path)
+        got_cold = run_analysis([TREE], cache=cold)
+        cold.save()
+        assert got_cold.diagnostics == uncached.diagnostics
+        assert cold.hits == 0 and cold.misses > 0
+
+        warm = AnalysisCache.open(cache_path)
+        got_warm = run_analysis([TREE], cache=warm)
+        assert got_warm.diagnostics == uncached.diagnostics
+        assert warm.misses == 0 and warm.hits > 0
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        a = tmp_path / "a.py"
+        b = tmp_path / "b.py"
+        a.write_text("import struct\n")
+        b.write_text("import struct\n")
+        cache_path = str(tmp_path / "cache.json")
+
+        cold = AnalysisCache.open(cache_path)
+        run_analysis([str(tmp_path)], cache=cold)
+        cold.save()
+
+        a.write_text("import struct  # edited\n")
+        warm = AnalysisCache.open(cache_path)
+        run_analysis([str(tmp_path)], cache=warm)
+        # per-file passes: b.py hits, a.py misses (for each family);
+        # graph passes miss too since the tree digest changed
+        assert warm.hits > 0 and warm.misses > 0

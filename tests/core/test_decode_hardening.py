@@ -1,0 +1,153 @@
+"""Decode-safety hardening suite.
+
+Every hand-rolled decoder in the repo must turn malformed wire bytes —
+truncations, bit flips, invalid UTF-8, hostile nesting — into its
+*declared* error class (``EventError``, ``ImagePacketError``,
+``WireError``, ``BerError``), never an uncaught ``IndexError`` /
+``struct.error`` / ``UnicodeDecodeError`` / ``RecursionError``; and the
+dispatch layers must count those failures and keep running.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.analysis.wirefuzz import default_registry
+from repro.core.events import ChatEvent, EventError, decode_event
+from repro.core.framework import CollaborationFramework
+from repro.core.matching import Decision, MatchResult
+from repro.core.selectors import Selector
+from repro.media.progressive import ImagePacket, ImagePacketError
+from repro.messaging.broker import Delivery
+from repro.messaging.message import MessageId, SemanticMessage
+from repro.messaging.serialization import WireError, decode_message, encode_message
+from repro.snmp.ber import BerError, Integer, Sequence, decode, encode
+
+EVENT_PAIRS = [p for p in default_registry() if p.name.startswith("events.")]
+
+
+class TestEventBodies:
+    @pytest.mark.parametrize("pair", EVENT_PAIRS, ids=[p.name for p in EVENT_PAIRS])
+    def test_truncation_at_every_offset_raises_event_error(self, pair):
+        body = pair.encode(pair.sample(random.Random(7)))
+        for cut in range(len(body)):
+            try:
+                pair.decode(body[:cut])
+            except EventError:
+                pass  # the declared failure mode
+
+    def test_invalid_utf8_raises_event_error(self):
+        body = ChatEvent(author="a", text="é").to_body()
+        assert body.endswith(b"\xc3\xa9")
+        mangled = body[:-2] + b"\xff\xff"  # same length, invalid UTF-8
+        with pytest.raises(EventError):
+            decode_event("chat", mangled)
+
+    def test_unknown_kind_raises_event_error(self):
+        with pytest.raises(EventError):
+            decode_event("no-such-kind", b"")
+
+
+class TestImagePackets:
+    def test_truncation_at_every_offset_raises_image_packet_error(self):
+        pkt = ImagePacket(index=1, total=4, chunks=((b"abcdef", 48), (b"xyz", 24)))
+        raw = pkt.to_bytes()
+        for cut in range(len(raw)):
+            try:
+                ImagePacket.from_bytes(raw[:cut])
+            except ImagePacketError:
+                pass
+
+    def test_oversized_chunk_length_raises(self):
+        pkt = ImagePacket(index=0, total=1, chunks=((b"ab", 16),))
+        raw = bytearray(pkt.to_bytes())
+        # chunk header is (bits u32, len u32) at offset 5; the length
+        # field at offset 9 claims more bytes than exist
+        struct.pack_into(">I", raw, 9, 10_000)
+        with pytest.raises(ImagePacketError):
+            ImagePacket.from_bytes(bytes(raw))
+
+
+class TestSemanticMessages:
+    @staticmethod
+    def _message(selector_text="load < 50"):
+        return SemanticMessage(
+            MessageId("ali", 1),
+            Selector(selector_text),
+            {"k": "v"},
+            body=b"hello",
+            kind="chat",
+            sender="ali",
+        )
+
+    def test_unparseable_selector_raises_wire_error(self):
+        raw = encode_message(self._message())
+        bad = raw.replace(b"load < 50", b"load <<< 0")
+        with pytest.raises(WireError):
+            decode_message(bad)
+
+    def test_truncation_at_every_offset_raises_wire_error(self):
+        raw = encode_message(self._message())
+        for cut in range(len(raw)):
+            try:
+                decode_message(raw[:cut])
+            except WireError:
+                pass
+
+
+def _ber_len(n: int) -> bytes:
+    if n < 0x80:
+        return bytes([n])
+    body = n.to_bytes((n.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(body)]) + body
+
+
+class TestBer:
+    def test_hostile_nesting_raises_ber_error_not_recursion(self):
+        blob = encode(Integer(1))
+        for _ in range(200):  # 200 nested SEQUENCEs; the depth cap is 32
+            blob = b"\x30" + _ber_len(len(blob)) + blob
+        with pytest.raises(BerError):
+            decode(blob)
+
+    def test_legitimate_nesting_still_decodes(self):
+        value = Sequence((Integer(1), Sequence((Integer(2),))))
+        decoded, used = decode(encode(value))
+        assert decoded == value and used > 0
+
+
+class TestDispatchCounters:
+    """A malformed delivery increments the counter; the loop keeps going."""
+
+    @pytest.fixture
+    def client(self):
+        fw = CollaborationFramework("t", objective="decode hardening", seed=0)
+        client = fw.add_wired_client("alice")
+        client.join()
+        fw.run_for(0.5)
+        return client
+
+    @staticmethod
+    def _delivery(body):
+        msg = SemanticMessage(
+            MessageId("mallory", 9),
+            Selector("true"),
+            {},
+            body=body,
+            kind="chat",
+            sender="mallory",
+        )
+        return Delivery(message=msg, result=MatchResult(decision=Decision.ACCEPT))
+
+    def test_client_counts_and_survives(self, client):
+        before = client.endpoint.decode_failures
+        client._on_delivery(self._delivery(b"\x00"))
+        assert client.endpoint.decode_failures == before + 1
+        # the dispatch loop is still alive: a well-formed event lands
+        ok = ChatEvent(author="bob", text="still here")
+        client._on_delivery(self._delivery(ok.to_body()))
+        assert any(
+            isinstance(e, ChatEvent) and e.text == "still here"
+            for _, e in client.events_received
+        )

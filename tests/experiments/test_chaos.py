@@ -31,6 +31,7 @@ class TestChaosDrill:
             "LatencySpike",
             "Duplication",
             "Reordering",
+            "Corruption",
         }
         assert default_chaos_plan().horizon <= DURATION
 
