@@ -1,13 +1,14 @@
 """Perf trajectory: broker + analyzer throughput snapshots + regression gate.
 
 Runs fixed, seedless-deterministic workloads and writes the numbers to
-``BENCH_broker.json`` and ``BENCH_analysis.json`` at the repo root.
-Both files are committed, so the repo carries its own performance
-trajectory; CI re-measures and fails when the tree got more than
-``THRESHOLD``× slower than a committed snapshot (or when any
-deterministic work counter — delivery counts, interpreter runs, shard
-skips, analyzer findings — changed at all, which means *semantics*
-drifted, not just speed).
+``BENCH_broker.json``, ``BENCH_analysis.json`` and
+``BENCH_multicast.json`` at the repo root.  The files are committed, so
+the repo carries its own performance trajectory; CI re-measures and
+fails when the tree got more than ``THRESHOLD``× slower than a committed
+snapshot (or when any deterministic work counter — delivery counts,
+interpreter runs, shard skips, analyzer findings, multicast packet
+counts — changed at all, which means *semantics* drifted, not just
+speed).
 
 ``BENCH_analysis.json`` covers the PERF/DET hot-path analyzer itself
 (whole-tree analysis throughput, which must stay finding-free) plus the
@@ -37,6 +38,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SNAPSHOT = REPO_ROOT / "BENCH_broker.json"
 ANALYSIS_SNAPSHOT = REPO_ROOT / "BENCH_analysis.json"
+MULTICAST_SNAPSHOT = REPO_ROOT / "BENCH_multicast.json"
 
 #: a timing metric may degrade to 1/THRESHOLD of the snapshot before CI fails
 THRESHOLD = 2.0
@@ -243,6 +245,40 @@ def collect_analysis() -> dict:
     return metrics
 
 
+def collect_multicast() -> dict:
+    """Flat vs. tree multicast packet cost (deterministic counters).
+
+    Everything except the send rate is an exact virtual-time packet count
+    from ``repro.experiments.multicast_scale``, so the gate catches any
+    semantic drift in the routing fabric — a changed tree shape, a lost
+    receiver, a fan-out regression — not just slowdowns.  The headline
+    number is the M=256 flat→tree reduction on the two-domain topology,
+    which must stay at or above 5× (ISSUE 10 acceptance criterion).
+    """
+    from repro.experiments.multicast_scale import run_multicast_scale
+
+    metrics: dict[str, float] = {}
+    t0 = time.perf_counter()
+    result = run_multicast_scale()
+    elapsed = time.perf_counter() - t0
+    sends = 2 * sum(4 for _ in result.rows)  # 2 modes x 4 sends per size
+    metrics["multicast_bench_sends_per_s"] = sends / elapsed
+    for row in result.rows:
+        m = row["members"]
+        metrics[f"multicast_flat_tx_per_send_m{m}"] = row["flat_tx_per_send"]
+        metrics[f"multicast_tree_tx_per_send_m{m}"] = row["tree_tx_per_send"]
+        metrics[f"multicast_delivered_each_m{m}"] = row["delivered_each"]
+    last = result.rows[-1]
+    # x10 fixed-point so the exact gate compares integers
+    metrics["multicast_reduction_m256_x10"] = int(
+        last["flat_tx_per_send"] * 10 // last["tree_tx_per_send"]
+    )
+    metrics["multicast_reduction_m256_at_least_5x"] = int(
+        last["flat_tx_per_send"] >= 5 * last["tree_tx_per_send"]
+    )
+    return metrics
+
+
 #: metrics compared as throughput rates (2× tolerance)
 RATE_METRICS = (
     "sharded_attach_per_s",
@@ -268,6 +304,21 @@ ANALYSIS_EXACT_METRICS = (
     "analysis_cache_hit_complete",
     "repo_lint_jobs_match",
     "sharded_single_delivered",
+)
+
+MULTICAST_RATE_METRICS = ("multicast_bench_sends_per_s",)
+MULTICAST_EXACT_METRICS = (
+    "multicast_flat_tx_per_send_m16",
+    "multicast_tree_tx_per_send_m16",
+    "multicast_delivered_each_m16",
+    "multicast_flat_tx_per_send_m64",
+    "multicast_tree_tx_per_send_m64",
+    "multicast_delivered_each_m64",
+    "multicast_flat_tx_per_send_m256",
+    "multicast_tree_tx_per_send_m256",
+    "multicast_delivered_each_m256",
+    "multicast_reduction_m256_x10",
+    "multicast_reduction_m256_at_least_5x",
 )
 
 
@@ -319,6 +370,7 @@ def main(argv: list[str]) -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     fresh_broker = collect()
     fresh_analysis = collect_analysis()
+    fresh_multicast = collect_multicast()
     if "--check" in argv:
         failures = _gate(SNAPSHOT, fresh_broker, RATE_METRICS, EXACT_METRICS)
         failures += _gate(
@@ -326,6 +378,12 @@ def main(argv: list[str]) -> int:
             fresh_analysis,
             ANALYSIS_RATE_METRICS,
             ANALYSIS_EXACT_METRICS,
+        )
+        failures += _gate(
+            MULTICAST_SNAPSHOT,
+            fresh_multicast,
+            MULTICAST_RATE_METRICS,
+            MULTICAST_EXACT_METRICS,
         )
         if failures:
             print("\nperf trajectory REGRESSED:")
@@ -350,7 +408,17 @@ def main(argv: list[str]) -> int:
         )
         + "\n"
     )
-    for path, fresh in ((SNAPSHOT, fresh_broker), (ANALYSIS_SNAPSHOT, fresh_analysis)):
+    MULTICAST_SNAPSHOT.write_text(
+        json.dumps(
+            {"schema": 1, "metrics": fresh_multicast}, indent=2, sort_keys=True
+        )
+        + "\n"
+    )
+    for path, fresh in (
+        (SNAPSHOT, fresh_broker),
+        (ANALYSIS_SNAPSHOT, fresh_analysis),
+        (MULTICAST_SNAPSHOT, fresh_multicast),
+    ):
         print(f"wrote {path}")
         for name, value in sorted(fresh.items()):
             print(f"  {name}: {value:.0f}")

@@ -106,6 +106,8 @@ __all__ = [
 #: (``sharded_attach_per_s`` is a committed trajectory metric).
 HOT_ENTRY_SUFFIXES: tuple[str, ...] = (
     "Network.send",
+    "Network.cast",
+    "MulticastFabric.cast",
     "SemanticBus.publish",
     "SemanticBus.publish_many",
     "ShardedSemanticBus.publish",

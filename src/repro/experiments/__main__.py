@@ -17,6 +17,7 @@ from .fig7 import run_fig7
 from .fig8 import run_fig8, run_fig8_dataflow
 from .fig9 import run_fig9, run_fig9_scaling
 from .fig10 import run_fig10
+from .multicast_scale import run_multicast_scale
 
 _RUNNERS = {
     "fig6": lambda: [run_fig6()],
@@ -26,6 +27,7 @@ _RUNNERS = {
     "fig10": lambda: [run_fig10()],
     "chaos": lambda: [run_chaos()],
     "broker": lambda: [run_broker_scale()],
+    "multicast": lambda: [run_multicast_scale()],
 }
 
 

@@ -5,9 +5,20 @@ simulator (see DESIGN.md §3 for the substitution argument).
 """
 
 from .clock import Event, Scheduler, SimClock, SimulationError
-from .simnet import Address, Link, Network, NetworkError, Node, Packet
+from .simnet import (
+    Address,
+    CastPlan,
+    Link,
+    LruCache,
+    Network,
+    NetworkError,
+    Node,
+    Packet,
+    PortInUseError,
+)
 from .udp import DatagramSocket
-from .multicast import MulticastGroup, MulticastSocket
+from .multicast import FlatMulticast, MulticastGroup, MulticastSocket, TreeMulticast
+from .routing import MulticastFabric, Router, RoutingError, TrustDomain
 from .faults import (
     AgentCrash,
     BurstLoss,
@@ -28,14 +39,23 @@ __all__ = [
     "SimClock",
     "SimulationError",
     "Address",
+    "CastPlan",
     "Link",
+    "LruCache",
     "Network",
     "NetworkError",
     "Node",
     "Packet",
+    "PortInUseError",
     "DatagramSocket",
+    "FlatMulticast",
     "MulticastGroup",
     "MulticastSocket",
+    "TreeMulticast",
+    "MulticastFabric",
+    "Router",
+    "RoutingError",
+    "TrustDomain",
     "AgentCrash",
     "BurstLoss",
     "ChaosController",

@@ -1,12 +1,25 @@
 """IP-multicast-style group delivery over the simulated network.
 
 The collaboration session rides on "the omnipresence of IP [multicast] on
-different physical media" (paper Sec. 5.1).  We model a multicast group as
-a membership registry keyed by a group address (``"239.x.y.z"`` style
-string); a send to the group fans out as per-member unicast through the
-simulator, which matches the observable semantics (independent per-path
-delay/loss, sender does not receive its own datagram unless loopback is
-requested).
+different physical media" (paper Sec. 5.1).  A multicast group is a
+membership registry keyed by a group address (``"239.x.y.z"`` style
+string) plus a pluggable *delivery strategy*:
+
+* :class:`FlatMulticast` — the historical model: a group send fans out
+  as one unicast per member through the simulator.  Observable
+  semantics match (independent per-path delay/loss, no sender loopback
+  unless requested) but every shared link is billed once per member —
+  O(members × path) physical packets per send.
+* :class:`TreeMulticast` — rides a
+  :class:`~repro.network.routing.MulticastFabric` distribution tree:
+  the packet traverses each tree edge once and replicates only at
+  branch points, O(tree edges) per send, which is what lets a group
+  scale across a shared backbone.
+
+Both strategies produce the identical delivery set, per-receiver order,
+and packet-disposition accounting on a loss-free fabric (a hypothesis
+property pins this), so the flat registry remains a drop-in fallback
+for topologies with no router fabric.
 
 The registry lives outside any single node because real multicast
 membership is a network-layer concern (IGMP), not an end-host table.
@@ -14,31 +27,122 @@ membership is a network-layer concern (IGMP), not an end-host table.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
 
 from .simnet import Address, Network, NetworkError, Packet
 from .udp import DatagramSocket
 
-__all__ = ["MulticastGroup", "MulticastSocket"]
+if TYPE_CHECKING:
+    from .routing import MulticastFabric
+
+__all__ = ["FlatMulticast", "MulticastGroup", "MulticastSocket", "TreeMulticast"]
+
+
+class DeliveryStrategy(Protocol):
+    """How a group send reaches the members (flat unicast vs. tree)."""
+
+    def fan_out(
+        self,
+        group: "MulticastGroup",
+        data: bytes,
+        sender: "MulticastSocket",
+        loopback: bool,
+    ) -> int: ...
+
+
+class FlatMulticast:
+    """Per-member unicast fan-out (the fallback, no fabric required).
+
+    Sends go through the sender's own :class:`DatagramSocket` — not
+    straight into :meth:`Network.send` — so the per-socket
+    ``sent_datagrams`` counter that host instrumentation exports sees
+    every multicast datagram, exactly as it sees unicast ones.
+    """
+
+    def fan_out(
+        self,
+        group: "MulticastGroup",
+        data: bytes,
+        sender: "MulticastSocket",
+        loopback: bool,
+    ) -> int:
+        n = 0
+        me = (sender.host, sender.local_port)
+        for key in group.members:
+            if not loopback and key == me:
+                continue
+            if sender._sock.sendto(data, key):
+                n += 1
+        return n
+
+
+class TreeMulticast:
+    """Single-copy replication over a multicast fabric's group tree.
+
+    One datagram leaves the sender's NIC per group send (counted on the
+    sender's socket); the fabric's routers replicate it along the
+    distribution tree.  Requires every member host to be attached to
+    the fabric (see :meth:`MulticastFabric.attach_host`).
+    """
+
+    def __init__(self, fabric: "MulticastFabric") -> None:
+        self.fabric = fabric
+
+    def fan_out(
+        self,
+        group: "MulticastGroup",
+        data: bytes,
+        sender: "MulticastSocket",
+        loopback: bool,
+    ) -> int:
+        me = (sender.host, sender.local_port)
+        targets = [key for key in group.members if loopback or key != me]
+        packet = Packet(
+            sender.host, sender.local_port, group.group, group.port, bytes(data)
+        )
+        # one physical datagram leaves the host regardless of group size
+        sender._sock.sent_datagrams += 1
+        return self.fabric.cast(group.group, packet, targets)
 
 
 class MulticastGroup:
-    """Membership registry for one group address + port."""
+    """Membership registry for one group address + port.
 
-    def __init__(self, network: Network, group: str, port: int) -> None:
+    With a ``fabric``, membership changes graft/prune the fabric's
+    distribution tree and sends ride it; without one, delivery falls
+    back to :class:`FlatMulticast` unicast fan-out.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        group: str,
+        port: int,
+        fabric: Optional["MulticastFabric"] = None,
+    ) -> None:
         self.network = network
         self.group = group
         self.port = port
+        self.fabric = fabric
         self._members: dict[tuple[Address, int], "MulticastSocket"] = {}
+        self._delivery: DeliveryStrategy = (
+            TreeMulticast(fabric) if fabric is not None else FlatMulticast()
+        )
+        if fabric is not None:
+            fabric.create_group(group)
 
     def join(self, sock: "MulticastSocket") -> None:
         key = (sock.host, sock.local_port)
         if key in self._members:
             raise NetworkError(f"{key} already joined {self.group}")
         self._members[key] = sock
+        if self.fabric is not None:
+            self.fabric.join(self.group, sock.host)
 
     def leave(self, sock: "MulticastSocket") -> None:
-        self._members.pop((sock.host, sock.local_port), None)
+        key = (sock.host, sock.local_port)
+        if self._members.pop(key, None) is not None and self.fabric is not None:
+            self.fabric.leave(self.group, sock.host)
 
     @property
     def members(self) -> list[tuple[Address, int]]:
@@ -46,16 +150,8 @@ class MulticastGroup:
         return sorted(self._members)
 
     def fan_out(self, data: bytes, sender: "MulticastSocket", loopback: bool) -> int:
-        """Unicast ``data`` to every member; returns datagrams scheduled."""
-        n = 0
-        for key in self.members:
-            if not loopback and key == (sender.host, sender.local_port):
-                continue
-            member = self._members[key]
-            pkt = Packet(sender.host, sender.local_port, member.host, member.local_port, bytes(data))
-            if self.network.send(pkt):
-                n += 1
-        return n
+        """Deliver ``data`` to every member; returns datagrams scheduled."""
+        return self._delivery.fan_out(self, data, sender, loopback)
 
 
 class MulticastSocket:
@@ -105,6 +201,16 @@ class MulticastSocket:
     @property
     def local_port(self) -> int:
         return self._sock.port  # type: ignore[return-value]
+
+    @property
+    def sent_datagrams(self) -> int:
+        """Datagrams this socket pushed onto the wire (multicast included)."""
+        return self._sock.sent_datagrams
+
+    @property
+    def received_datagrams(self) -> int:
+        """Datagrams delivered to this socket."""
+        return self._sock.received_datagrams
 
     def _dispatch(self, data: bytes, src: tuple[Address, int]) -> None:
         if self.on_receive is not None:

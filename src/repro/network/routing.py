@@ -1,0 +1,545 @@
+"""Hierarchical multicast routing fabric: routers, trust domains, trees.
+
+The paper's session layer assumes "the omnipresence of IP [multicast]"
+(Sec. 5.1); the flat per-member unicast model bills every shared link
+once per member and gives the fault injector no tree structure to break.
+This module supplies the missing network layer, modeled on per-group
+distribution-tree maintenance in GDP-style multicast simulators:
+
+* :class:`Router` — a fabric node (backed by an ordinary
+  :class:`~repro.network.simnet.Node`) holding a bounded next-hop RIB:
+  :meth:`Router.rib_lookup` answers "which neighbors continue this
+  group's tree from here" from an :class:`~repro.network.simnet.LruCache`
+  validated against the tree epoch.
+* :class:`TrustDomain` — an administrative grouping of routers with a
+  designated root; domains nest through their roots' parents, giving the
+  fabric the hierarchy that anchors (LCA) are computed over.
+* :class:`MulticastFabric` — group state: create / join / graft /
+  prune, anchor election as the lowest common ancestor of the member
+  access routers (ownership *transfers* when membership change moves the
+  LCA), and per-group distribution trees as shortest live paths from
+  each member's access router to the anchor.
+
+**Data plane.**  A group send builds (or reuses — plans are LRU-cached
+per ``(group, sender)`` and invalidated by tree epoch) a
+:class:`~repro.network.simnet.CastPlan` by walking the RIB outward from
+the sender, then hands it to :meth:`Network.cast`: the packet traverses
+each tree edge exactly once and replicates only at branch points —
+O(tree edges) physical packets per send instead of O(members × path).
+
+**Repair.**  The fabric listens for topology changes on the network
+(installed via :meth:`Network.add_topology_listener`, which the
+:class:`~repro.network.faults.ChaosController` drives through
+``set_link_up``).  A flap that severs a tree edge triggers a graft/prune
+rebuild: members still connected to the anchor re-path around the cut,
+and members partitioned away regroup under a per-partition sub-anchor so
+intra-partition delivery continues — link flaps become local tree
+repairs, not global drops.  Heals re-merge the partitions under the
+canonical anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import heapq
+
+from .simnet import Address, CastPlan, LruCache, Network, NetworkError, Packet
+
+__all__ = ["MulticastFabric", "Router", "RoutingError", "TrustDomain"]
+
+
+class RoutingError(NetworkError):
+    """Raised for malformed fabric topology or group operations."""
+
+
+@dataclass
+class TrustDomain:
+    """An administrative grouping of routers under one root router."""
+
+    name: str
+    parent: Optional[str] = None
+    root: Optional[str] = None
+    routers: set[str] = field(default_factory=set)
+
+
+class Router:
+    """A replicating fabric node with a bounded per-group next-hop RIB."""
+
+    def __init__(
+        self, name: Address, domain: str, parent: Optional[str], fabric: "MulticastFabric"
+    ) -> None:
+        self.name = name
+        self.domain = domain
+        self.parent = parent
+        self.fabric = fabric
+        #: hierarchy depth (roots of top-level domains are 0)
+        self.depth: int = 0
+        #: ``group -> (epoch, next_hops)``; bounded so a router touched by
+        #: thousands of groups holds only its working set
+        self._rib: LruCache = LruCache(fabric.rib_cache_size)
+
+    def rib_lookup(self, group: str) -> tuple[Address, ...]:
+        """Next hops continuing ``group``'s tree from this router.
+
+        Answers come from the router's bounded RIB cache; entries are
+        validated against the group's tree epoch, so a graft, prune, or
+        repair invalidates every stale answer at once without touching
+        each router.
+        """
+        state = self.fabric._group(group)
+        entry = self._rib.get(group)
+        if entry is not None and entry[0] == state.epoch:
+            return entry[1]
+        hops = state.adjacency.get(self.name, ())
+        self._rib.put(group, (state.epoch, hops))
+        return hops
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Router({self.name!r}, domain={self.domain!r}, parent={self.parent!r})"
+
+
+class _GroupState:
+    """Per-group tree state: membership refcounts, anchor, edges, epoch."""
+
+    __slots__ = ("addr", "refs", "anchor", "edges", "adjacency", "epoch", "degraded")
+
+    def __init__(self, addr: str) -> None:
+        self.addr = addr
+        #: member host -> join refcount (several sockets may share a host)
+        self.refs: dict[Address, int] = {}
+        self.anchor: Optional[Address] = None
+        #: undirected tree edges as frozensets (router-router, router-host)
+        self.edges: frozenset = frozenset()
+        #: node -> sorted tuple of tree neighbors (the RIB's ground truth)
+        self.adjacency: dict[Address, tuple[Address, ...]] = {}
+        #: bumped on every rebuild; validates RIB entries and cast plans
+        self.epoch: int = 0
+        #: True when some member is off-tree (partition / access link
+        #: down) — such groups rebuild again on the next link heal
+        self.degraded: bool = False
+
+
+class MulticastFabric:
+    """Routers + trust domains + per-group distribution trees.
+
+    Parameters
+    ----------
+    network:
+        The simulated network the fabric's routers and links live in.
+        The fabric registers a topology listener so link flaps repair
+        affected trees immediately.
+    rib_cache_size:
+        Capacity of each router's next-hop RIB cache.
+    plan_cache_size:
+        Capacity of the fabric-wide ``(group, sender) -> CastPlan``
+        cache.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rib_cache_size: int = 128,
+        plan_cache_size: int = 1024,
+    ) -> None:
+        self.network = network
+        self.rib_cache_size = rib_cache_size
+        self.domains: dict[str, TrustDomain] = {}
+        self.routers: dict[Address, Router] = {}
+        #: host -> its access router
+        self._access: dict[Address, Address] = {}
+        self._groups: dict[str, _GroupState] = {}
+        self._plan_cache: LruCache = LruCache(plan_cache_size)
+        # telemetry (deterministic)
+        self.grafts = 0
+        self.prunes = 0
+        self.lca_transfers = 0
+        self.repairs = 0
+        self.rebuilds = 0
+        self.plan_builds = 0
+        self.casts = 0
+        network.add_topology_listener(self._on_topology)
+
+    # ------------------------------------------------------------------
+    # fabric topology
+    # ------------------------------------------------------------------
+    def add_domain(self, name: str, parent: Optional[str] = None) -> TrustDomain:
+        """Declare a trust domain, optionally nested under ``parent``."""
+        if name in self.domains:
+            raise RoutingError(f"duplicate domain {name!r}")
+        if parent is not None and parent not in self.domains:
+            raise RoutingError(f"unknown parent domain {parent!r}")
+        domain = TrustDomain(name, parent=parent)
+        self.domains[name] = domain
+        return domain
+
+    def add_router(
+        self,
+        name: Address,
+        domain: str,
+        parent: Optional[Address] = None,
+        **link_kwargs,
+    ) -> Router:
+        """Create a router node in ``domain`` under hierarchy ``parent``.
+
+        The first router of a domain becomes its root; a root's parent
+        (when given) must belong to another domain, stitching the domain
+        hierarchy together.  A physical link to the parent is created
+        with ``link_kwargs``.
+        """
+        if domain not in self.domains:
+            raise RoutingError(f"unknown domain {domain!r}")
+        if name in self.routers:
+            raise RoutingError(f"duplicate router {name!r}")
+        if parent is not None and parent not in self.routers:
+            raise RoutingError(f"unknown parent router {parent!r}")
+        dom = self.domains[domain]
+        router = Router(name, domain, parent, self)
+        if parent is not None:
+            router.depth = self.routers[parent].depth + 1
+        self.network.add_node(name)
+        if parent is not None:
+            self.network.add_link(name, parent, **link_kwargs)
+        if dom.root is None:
+            dom.root = name
+        dom.routers.add(name)
+        self.routers[name] = router
+        return router
+
+    def connect(self, a: Address, b: Address, **link_kwargs):
+        """Extra physical link between two routers (repair capacity)."""
+        if a not in self.routers or b not in self.routers:
+            raise RoutingError(f"both endpoints must be routers: {a!r}, {b!r}")
+        return self.network.add_link(a, b, **link_kwargs)
+
+    def attach_host(self, host: Address, router: Address, **link_kwargs) -> None:
+        """Attach ``host`` to the fabric through access router ``router``."""
+        if router not in self.routers:
+            raise RoutingError(f"unknown access router {router!r}")
+        if host in self.routers:
+            raise RoutingError(f"{host!r} is a router, not a host")
+        if host in self._access:
+            raise RoutingError(f"host {host!r} already attached")
+        if host not in self.network._nodes:
+            self.network.add_node(host)
+        self.network.add_link(host, router, **link_kwargs)
+        self._access[host] = router
+
+    def access_router(self, host: Address) -> Address:
+        """The access router ``host`` is attached through."""
+        try:
+            return self._access[host]
+        except KeyError:
+            raise RoutingError(f"host {host!r} is not attached to the fabric") from None
+
+    # ------------------------------------------------------------------
+    # group membership (create / join / graft / prune)
+    # ------------------------------------------------------------------
+    def create_group(self, addr: str) -> None:
+        """Register a group address.  Idempotent."""
+        if addr not in self._groups:
+            self._groups[addr] = _GroupState(addr)
+
+    def join(self, addr: str, host: Address) -> None:
+        """Graft ``host`` onto the group's tree (refcounted per host)."""
+        self.access_router(host)  # validates attachment
+        self.create_group(addr)
+        state = self._groups[addr]
+        state.refs[host] = state.refs.get(host, 0) + 1
+        if state.refs[host] == 1:
+            self._rebuild(state)
+
+    def leave(self, addr: str, host: Address) -> None:
+        """Prune ``host`` from the group's tree once its last socket leaves."""
+        state = self._groups.get(addr)
+        if state is None or host not in state.refs:
+            return
+        state.refs[host] -= 1
+        if state.refs[host] <= 0:
+            del state.refs[host]
+            self._rebuild(state)
+
+    def members(self, addr: str) -> list[Address]:
+        """Member hosts of ``addr``, sorted."""
+        state = self._groups.get(addr)
+        return sorted(state.refs) if state is not None else []
+
+    def group_edges(self, addr: str) -> frozenset:
+        """The group's current tree edges (frozensets of endpoints)."""
+        return self._group(addr).edges
+
+    def anchor(self, addr: str) -> Optional[Address]:
+        """The group's anchor (LCA) router, or None with no members."""
+        return self._group(addr).anchor
+
+    def _group(self, addr: str) -> _GroupState:
+        try:
+            return self._groups[addr]
+        except KeyError:
+            raise RoutingError(f"unknown group {addr!r}") from None
+
+    # ------------------------------------------------------------------
+    # anchor election (LCA over the domain/router hierarchy)
+    # ------------------------------------------------------------------
+    def _ancestry(self, router: Address) -> list[Address]:
+        """Hierarchy chain from ``router`` up to its top-level root."""
+        chain = [router]
+        seen = {router}
+        cur = self.routers[router].parent
+        while cur is not None:
+            if cur in seen:  # defensive: malformed hierarchy
+                raise RoutingError(f"hierarchy cycle through {cur!r}")
+            chain.append(cur)
+            seen.add(cur)
+            cur = self.routers[cur].parent
+        return chain
+
+    def _lca(self, routers: Iterable[Address]) -> Optional[Address]:
+        """Lowest common ancestor of ``routers`` in the hierarchy forest."""
+        names = sorted(set(routers))
+        if not names:
+            return None
+        common: Optional[list[Address]] = None
+        for name in names:
+            chain = list(reversed(self._ancestry(name)))  # root .. router
+            if common is None:
+                common = chain
+                continue
+            keep = 0
+            for x, y in zip(common, chain):
+                if x != y:
+                    break
+                keep += 1
+            common = common[:keep]
+            if not common:
+                return None  # disjoint hierarchies
+        assert common is not None
+        return common[-1] if common else None
+
+    # ------------------------------------------------------------------
+    # tree construction + repair
+    # ------------------------------------------------------------------
+    def _live_router_neighbors(self, router: Address) -> list[Address]:
+        """Adjacent routers over administratively-up links, sorted."""
+        out = []
+        for peer in sorted(self.network._adj.get(router, ())):
+            if peer in self.routers and self.network.link(router, peer).up:
+                out.append(peer)
+        return out
+
+    def _component(self, start: Address) -> set[Address]:
+        """Routers reachable from ``start`` over live links."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for peer in self._live_router_neighbors(node):
+                    if peer not in seen:
+                        seen.add(peer)
+                        nxt.append(peer)
+            frontier = nxt
+        return seen
+
+    def _shortest_router_path(
+        self, src: Address, dst: Address
+    ) -> Optional[list[Address]]:
+        """Lowest-latency live path ``src -> dst`` restricted to routers."""
+        if src == dst:
+            return [src]
+        dist: dict[Address, float] = {src: 0.0}
+        prev: dict[Address, Address] = {}
+        heap: list[tuple[float, Address]] = [(0.0, src)]
+        visited: set[Address] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in visited:
+                continue
+            visited.add(u)
+            if u == dst:
+                break
+            for v in self._live_router_neighbors(u):
+                nd = d + self.network.link(u, v).latency
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        if dst not in dist:
+            return None
+        path = [dst]
+        while path[-1] != src:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    def _access_link_up(self, host: Address) -> bool:
+        router = self._access[host]
+        try:
+            return self.network.link(host, router).up
+        except NetworkError:
+            return False
+
+    def _rebuild(self, state: _GroupState) -> None:
+        """Recompute the group tree: anchor, edges, adjacency, epoch.
+
+        Members whose access router can reach the anchor over live links
+        are grafted along shortest live router paths; members partitioned
+        away regroup per connected component under a deterministic
+        sub-anchor (the component-local LCA when it lies inside, else
+        the shallowest member access router), so intra-partition traffic
+        still flows.  The group is marked ``degraded`` whenever any
+        member is off the anchor's component, which re-triggers a rebuild
+        on the next link heal.
+        """
+        self.rebuilds += 1
+        hosts = sorted(state.refs)
+        old_edges = state.edges
+        # --- anchor election (LCA transfer on membership change) -------
+        access = {h: self._access[h] for h in hosts}
+        acc_routers = sorted(set(access.values()))
+        anchor = self._lca(acc_routers)
+        if anchor is None and acc_routers:
+            anchor = min(acc_routers, key=lambda r: (self.routers[r].depth, r))
+        if anchor != state.anchor and hosts:
+            if state.anchor is not None and anchor is not None:
+                self.lca_transfers += 1
+            state.anchor = anchor
+        elif not hosts:
+            state.anchor = None
+        # --- per-component tree edges -----------------------------------
+        edges: set[frozenset] = set()
+        degraded = False
+        unassigned = [r for r in acc_routers]
+        components: list[set[Address]] = []
+        while unassigned:
+            comp = self._component(unassigned[0])
+            components.append(comp)
+            unassigned = [r for r in unassigned if r not in comp]
+        if len(components) > 1:
+            degraded = True
+        for comp in components:
+            comp_members = [r for r in acc_routers if r in comp]
+            if state.anchor is not None and state.anchor in comp:
+                sub_anchor = state.anchor
+            else:
+                degraded = True  # anchor unreachable: partition sub-tree
+                candidate = self._lca(comp_members)
+                if candidate is None or candidate not in comp:
+                    candidate = min(
+                        comp_members, key=lambda r: (self.routers[r].depth, r)
+                    )
+                sub_anchor = candidate
+            for router in comp_members:
+                path = self._shortest_router_path(router, sub_anchor)
+                if path is None:  # pragma: no cover - same component, has path
+                    degraded = True
+                    continue
+                for u, v in zip(path, path[1:]):
+                    edges.add(frozenset((u, v)))
+        # --- access edges ------------------------------------------------
+        for host in hosts:
+            if self._access_link_up(host):
+                edges.add(frozenset((host, access[host])))
+            else:
+                degraded = True
+        # --- commit ------------------------------------------------------
+        new_edges = frozenset(edges)
+        added = len(new_edges - old_edges)
+        removed = len(old_edges - new_edges)
+        self.grafts += added
+        self.prunes += removed
+        state.edges = new_edges
+        adjacency: dict[Address, list[Address]] = {}
+        for edge in new_edges:
+            u, v = sorted(edge)
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, []).append(u)
+        state.adjacency = {
+            node: tuple(sorted(peers)) for node, peers in sorted(adjacency.items())
+        }
+        state.degraded = degraded
+        state.epoch += 1
+
+    def _on_topology(self, a: Address, b: Address, up: bool) -> None:
+        """Network topology-change hook: repair affected group trees."""
+        key = frozenset((a, b))
+        for addr in sorted(self._groups):
+            state = self._groups[addr]
+            if not state.refs:
+                continue
+            if up:
+                # a heal can only improve connectivity; only degraded
+                # trees (somebody off-tree) need re-merging
+                if state.degraded:
+                    self.repairs += 1
+                    self._rebuild(state)
+            elif key in state.edges:
+                self.repairs += 1
+                self._rebuild(state)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def plan(self, addr: str, root: Address) -> CastPlan:
+        """The cast plan for a send by ``root`` — cached per tree epoch.
+
+        Built by walking the per-router RIB (:meth:`Router.rib_lookup`)
+        outward from the sender's host, emitting edges parent-before-
+        child; the walk only ever touches the sender's side of a
+        partitioned tree, exactly like a real replication would.
+        """
+        state = self._group(addr)
+        entry = self._plan_cache.get((addr, root))
+        if entry is not None and entry[0] == state.epoch:
+            return entry[1]
+        self.plan_builds += 1
+        edges: list[tuple[Address, Address]] = []
+        visited = {root}
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                router = self.routers.get(node)
+                if router is not None:
+                    hops = router.rib_lookup(addr)
+                else:
+                    hops = state.adjacency.get(node, ())
+                for hop in hops:
+                    if hop in visited:
+                        continue
+                    visited.add(hop)
+                    edges.append((node, hop))
+                    nxt.append(hop)
+            frontier = nxt
+        built = CastPlan(root, tuple(edges))
+        self._plan_cache.put((addr, root), (state.epoch, built))
+        return built
+
+    def cast(
+        self, addr: str, packet: Packet, targets: list[tuple[Address, int]]
+    ) -> int:
+        """Send ``packet`` down the group tree to ``targets``.
+
+        Returns the number of targets scheduled for delivery (the rest
+        were dropped: lossy edge, severed subtree, or down access link).
+        """
+        self.casts += 1
+        return self.network.cast(packet, self.plan(addr, packet.src), targets)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Deterministic counter snapshot (sorted keys, ints only)."""
+        return {
+            "casts": self.casts,
+            "domains": len(self.domains),
+            "grafts": self.grafts,
+            "groups": len(self._groups),
+            "hosts": len(self._access),
+            "lca_transfers": self.lca_transfers,
+            "plan_builds": self.plan_builds,
+            "prunes": self.prunes,
+            "rebuilds": self.rebuilds,
+            "repairs": self.repairs,
+            "routers": len(self.routers),
+        }

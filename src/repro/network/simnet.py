@@ -16,21 +16,93 @@ the SNMP agent exports (``ifInOctets``-style octet counts).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Union
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from .clock import Scheduler, SimulationError
 
-__all__ = ["Address", "Link", "Node", "Network", "NetworkError", "Packet"]
+__all__ = [
+    "Address",
+    "CastPlan",
+    "Link",
+    "LruCache",
+    "Node",
+    "Network",
+    "NetworkError",
+    "Packet",
+    "PortInUseError",
+]
 
 #: A network address is just a string host name; ports live in udp.py.
 Address = str
 
+#: route-cache sentinel distinguishing "not cached" from "cached None
+#: (unroutable)"
+_ROUTE_MISS = object()
+
 
 class NetworkError(RuntimeError):
     """Raised for malformed topology operations or unroutable sends."""
+
+
+class PortInUseError(NetworkError):
+    """Raised by :meth:`Node.bind` when the requested port is taken.
+
+    Distinct from the base class so that ephemeral-port allocation can
+    retry on genuine conflicts without swallowing unrelated network
+    errors (closed sockets, unknown hosts) as "port occupied".
+    """
+
+
+class LruCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Backs the route cache and the per-router multicast RIBs so that
+    city-scale topologies (thousands of routers, long-running sessions)
+    cannot grow lookup state without bound.  ``get`` refreshes recency;
+    ``put`` evicts the stalest entry once ``capacity`` is exceeded.
+    """
+
+    __slots__ = ("capacity", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("LruCache capacity must be positive")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
 
 
 @dataclass
@@ -55,6 +127,22 @@ class Packet:
         still cost non-zero wire time, as on a real network.
         """
         return len(self.payload) + 28
+
+
+@dataclass(frozen=True)
+class CastPlan:
+    """A single-copy replication schedule for one multicast transmission.
+
+    ``root`` is the sending host; ``edges`` are ``(parent, child)``
+    node pairs ordered parent-before-child outward from the root over
+    the group's distribution tree (built by
+    :class:`repro.network.routing.MulticastFabric`).  The plan is pure
+    data, so it can be cached per ``(group, root)`` and replayed for
+    every send until the tree changes.
+    """
+
+    root: Address
+    edges: tuple[tuple[Address, Address], ...]
 
 
 @dataclass
@@ -100,6 +188,10 @@ class Link:
         # FIFO transmission queue state per direction (keyed by src node):
         # the virtual time the transmitter becomes free again.
         self._busy_until: dict[Address, float] = {}
+        # Last arrival time per direction: enqueue clamps to this so an
+        # independently-sampled jitter draw can never land a later packet
+        # before an earlier one on the same direction (per-link FIFO).
+        self._last_arrival: dict[Address, float] = {}
         #: optional size-dependent loss model: ``loss_fn(size_bytes) -> p``.
         #: When set it overrides the scalar ``loss`` (used by the coupled
         #: wireless channel, where small frames ride a robust base rate).
@@ -127,6 +219,10 @@ class Link:
         Packets entering the same link direction back-to-back serialize
         one after another (models congestion delay and preserves per-link
         FIFO order, which the RTP layer and reassembly depend on).
+        Because jitter is sampled independently per packet, the raw
+        arrival time of a later packet could precede an earlier one; the
+        per-direction arrival clock is therefore clamped non-decreasing,
+        making the FIFO promise hold even with ``jitter > 0``.
         Returns the absolute time the packet finishes the link (including
         propagation + jitter).
         """
@@ -136,7 +232,12 @@ class Link:
         delay = self.latency
         if self.jitter > 0.0:
             delay += abs(float(rng.normal(0.0, self.jitter)))
-        return start + ser + delay
+        arrival = start + ser + delay
+        prev = self._last_arrival.get(src)
+        if prev is not None and arrival < prev:
+            arrival = prev
+        self._last_arrival[src] = arrival
+        return arrival
 
 
 class Node:
@@ -150,11 +251,16 @@ class Node:
         self.name = name
         self.network = network
         self._port_handlers: dict[int, Callable[[Packet], None]] = {}
+        #: next-port hint for ephemeral binds (see
+        #: :meth:`repro.network.udp.DatagramSocket.bind_ephemeral`):
+        #: shared across every socket on this host so N socket creations
+        #: cost O(N) probes total instead of O(N^2)
+        self.ephemeral_hint: int = 0
 
     def bind(self, port: int, handler: Callable[[Packet], None]) -> None:
         """Attach ``handler`` to ``port``.  One handler per port."""
         if port in self._port_handlers:
-            raise NetworkError(f"port {port} already bound on {self.name}")
+            raise PortInUseError(f"port {port} already bound on {self.name}")
         self._port_handlers[port] = handler
 
     def unbind(self, port: int) -> None:
@@ -191,13 +297,27 @@ class Network:
     [b'hi']
     """
 
-    def __init__(self, scheduler: Scheduler, seed: int = 0) -> None:
+    #: default bound on cached routes; city-scale topologies have O(N^2)
+    #: host pairs, so the cache must be LRU-bounded, not grow-forever
+    DEFAULT_ROUTE_CACHE = 4096
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        seed: int = 0,
+        route_cache_size: int = DEFAULT_ROUTE_CACHE,
+    ) -> None:
         self.scheduler = scheduler
         self.rng = np.random.default_rng(seed)
         self._nodes: dict[Address, Node] = {}
         self._links: dict[frozenset, Link] = {}
         self._adj: dict[Address, set[Address]] = {}
-        self._route_cache: dict[tuple[Address, Address], Optional[list[Link]]] = {}
+        self._route_cache: LruCache = LruCache(route_cache_size)
+        #: observers of administrative topology change, called as
+        #: ``listener(a, b, up)`` after a link is added (up), removed
+        #: (down), or flapped; the multicast fabric uses this to repair
+        #: distribution trees instead of suffering global drops
+        self._topology_listeners: list[Callable[[Address, Address, bool], None]] = []
         #: optional fault hook (see :mod:`repro.network.faults`): called as
         #: ``interceptor(packet, path, t)`` for every packet that survived
         #: routing and loss, returning the list of deliveries — ``[t]``
@@ -219,6 +339,11 @@ class Network:
         self.packets_duplicated: int = 0
         #: total delivery copies scheduled (>= packets_delivered)
         self.copies_delivered: int = 0
+        #: physical link transmissions (one per link hop actually carried,
+        #: lost hops excluded).  A unicast costs path-length transmissions;
+        #: a tree cast costs one per live tree edge — the counter the
+        #: multicast-scale benchmark gates on.
+        self.packets_transmitted: int = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -247,6 +372,7 @@ class Network:
         self._adj[a].add(b)
         self._adj[b].add(a)
         self._route_cache.clear()
+        self._notify_topology(a, b, True)
         return link
 
     def remove_link(self, a: Address, b: Address) -> None:
@@ -258,6 +384,7 @@ class Network:
         self._adj[a].discard(b)
         self._adj[b].discard(a)
         self._route_cache.clear()
+        self._notify_topology(a, b, False)
 
     def set_link_up(self, a: Address, b: Address, up: bool) -> Link:
         """Administratively flap a link without losing its counters.
@@ -270,7 +397,18 @@ class Network:
         if link.up != up:
             link.up = up
             self._route_cache.clear()
+            self._notify_topology(a, b, up)
         return link
+
+    def add_topology_listener(
+        self, listener: Callable[[Address, Address, bool], None]
+    ) -> None:
+        """Register ``listener(a, b, up)`` for link add/remove/flap events."""
+        self._topology_listeners.append(listener)
+
+    def _notify_topology(self, a: Address, b: Address, up: bool) -> None:
+        for listener in self._topology_listeners:
+            listener(a, b, up)
 
     def node(self, name: Address) -> Node:
         """Look up a node by name."""
@@ -302,15 +440,16 @@ class Network:
     def route(self, src: Address, dst: Address) -> Optional[list[Link]]:
         """Lowest-latency path from ``src`` to ``dst`` (Dijkstra), or None.
 
-        Routes are cached and the cache is invalidated on any topology
-        change.
+        Routes live in a bounded :class:`LruCache` (so arbitrarily many
+        host pairs cannot grow memory without bound) and the cache is
+        invalidated on any topology change.
         """
         if src not in self._nodes or dst not in self._nodes:
             raise NetworkError(f"unknown endpoint: {src!r} or {dst!r}")
         if src == dst:
             return []
-        cached = self._route_cache.get((src, dst))
-        if cached is not None or (src, dst) in self._route_cache:
+        cached = self._route_cache.get((src, dst), _ROUTE_MISS)
+        if cached is not _ROUTE_MISS:
             return cached
         dist: dict[Address, float] = {src: 0.0}
         prev: dict[Address, Address] = {}
@@ -334,7 +473,7 @@ class Network:
                     prev[v] = u
                     heapq.heappush(heap, (nd, v))
         if dst not in dist:
-            self._route_cache[(src, dst)] = None
+            self._route_cache.put((src, dst), None)
             return None
         path: list[Link] = []
         cur = dst
@@ -343,7 +482,7 @@ class Network:
             path.append(self._links[frozenset((p, cur))])
             cur = p
         path.reverse()
-        self._route_cache[(src, dst)] = path
+        self._route_cache.put((src, dst), path)
         return path
 
     # ------------------------------------------------------------------
@@ -381,6 +520,7 @@ class Network:
                 return False
             t = link.enqueue(hop_src, t, packet.size, self.rng)
             link.rx_octets += packet.size
+            self.packets_transmitted += 1
             hop_src = link.other(hop_src)
         if self.delivery_interceptor is not None:
             times = self.delivery_interceptor(packet, path, t)
@@ -406,6 +546,83 @@ class Network:
             else:
                 self.scheduler.call_at(entry, deliver, packet)
         return True
+
+    def cast(
+        self,
+        packet: Packet,
+        plan: "CastPlan",
+        targets: Sequence[tuple[Address, int]],
+    ) -> int:
+        """Single-copy tree delivery of one multicast transmission.
+
+        The packet traverses each edge of ``plan`` exactly once — edges
+        are ``(parent, child)`` pairs ordered parent-before-child from
+        ``plan.root`` — and fans out only at branch points, so physical
+        work is O(tree edges) rather than O(targets × path length).  A
+        per-edge loss draw (or a down link) severs the whole subtree
+        below it, exactly like a real replicating router.
+
+        Disposition accounting stays per logical datagram: every entry
+        in ``targets`` counts one ``packets_sent`` and ends in exactly
+        one of delivered / dropped / duplicated, preserving the same
+        conservation invariant as unicast :meth:`send`.  Targets the
+        tree never reaches (severed subtree, down access link, sender's
+        own host when absent from the plan) are drops.  Returns the
+        number of targets scheduled for delivery.
+        """
+        now = self.scheduler.clock.now
+        size = packet.size
+        arrival: dict[Address, float] = {plan.root: now}
+        hop_paths: dict[Address, list[Link]] = {plan.root: []}
+        for parent, child in plan.edges:
+            t0 = arrival.get(parent)
+            if t0 is None:
+                continue  # upstream edge lost or down: subtree severed
+            link = self._links.get(frozenset((parent, child)))
+            if link is None or not link.up:
+                continue
+            link.tx_octets += size
+            p_loss = link.loss_fn(size) if link.loss_fn is not None else link.loss
+            if p_loss > 0.0 and self.rng.random() < p_loss:
+                link.dropped_packets += 1
+                continue
+            t = link.enqueue(parent, t0, size, self.rng)
+            link.rx_octets += size
+            self.packets_transmitted += 1
+            arrival[child] = t
+            hop_paths[child] = hop_paths[parent] + [link]
+        scheduled = 0
+        for host, port in targets:
+            self.packets_sent += 1
+            t = arrival.get(host)
+            if t is None:
+                self.packets_dropped += 1
+                continue
+            copy = replace(packet, dst=host, dst_port=port)
+            path = hop_paths[host]
+            if self.delivery_interceptor is not None:
+                times = self.delivery_interceptor(copy, path, t)
+                if not times:
+                    self.packets_dropped += 1
+                    continue
+            else:
+                times = [t]
+            if len(times) == 1:
+                self.packets_delivered += 1
+            else:
+                self.packets_duplicated += 1
+            self.copies_delivered += len(times)
+            if path:
+                path[-1].delivered_packets += len(times)
+            deliver = self._nodes[host].deliver
+            for entry in times:
+                if isinstance(entry, tuple):
+                    td, sub = entry
+                    self.scheduler.call_at(td, deliver, sub)
+                else:
+                    self.scheduler.call_at(entry, deliver, copy)
+            scheduled += 1
+        return scheduled
 
     def path_latency(self, src: Address, dst: Address) -> float:
         """Sum of nominal link latencies along the routed path (no jitter)."""

@@ -18,12 +18,14 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
-from .simnet import Address, Network, NetworkError, Packet
+from .simnet import Address, Network, NetworkError, Packet, PortInUseError
 
-__all__ = ["DatagramSocket", "EPHEMERAL_BASE"]
+__all__ = ["DatagramSocket", "EPHEMERAL_BASE", "EPHEMERAL_MAX"]
 
 #: First port handed out by :meth:`DatagramSocket.bind_ephemeral`.
 EPHEMERAL_BASE = 49152
+#: Last port in the ephemeral range (inclusive).
+EPHEMERAL_MAX = 65535
 
 
 class DatagramSocket:
@@ -67,19 +69,32 @@ class DatagramSocket:
         self.port = port
 
     def bind_ephemeral(self) -> int:
-        """Bind to the first free ephemeral port; returns the port."""
+        """Bind to a free ephemeral port; returns the port.
+
+        Allocation starts at the host's next-port hint — shared across
+        every socket on the node, so N socket creations cost O(N) probes
+        total instead of rescanning from :data:`EPHEMERAL_BASE` each
+        time — and wraps around the ephemeral range, which lets ports
+        freed by :meth:`close` be reused once the hint comes back
+        around.  Only genuine :class:`PortInUseError` conflicts are
+        retried; any other :class:`NetworkError` propagates.
+        """
         if self._closed:
             raise NetworkError("socket is closed")
         node = self.network.node(self.host)
-        port = EPHEMERAL_BASE
+        port = node.ephemeral_hint
+        if not (EPHEMERAL_BASE <= port <= EPHEMERAL_MAX):
+            port = EPHEMERAL_BASE
+        first = port
         while True:
             try:
                 node.bind(port, self._deliver)
-            except NetworkError:
-                port += 1
-                if port > 65535:
+            except PortInUseError:
+                port = port + 1 if port < EPHEMERAL_MAX else EPHEMERAL_BASE
+                if port == first:
                     raise NetworkError("ephemeral port space exhausted") from None
                 continue
+            node.ephemeral_hint = port + 1 if port < EPHEMERAL_MAX else EPHEMERAL_BASE
             self.port = port
             return port
 

@@ -93,3 +93,97 @@ class TestFanOut:
         net.scheduler.run()
         assert got_a == [("b", b"g1")]
         assert got_b == []
+
+
+class TestTelemetry:
+    """Regression: multicast sends must show up in ``sent_datagrams``.
+
+    The flat fan-out used to build raw ``Packet``s and call
+    ``network.send`` directly, bypassing the sender's socket counter that
+    host instrumentation exports — multicast traffic was invisible.
+    """
+
+    def test_flat_send_counts_on_sender_socket(self, fabric):
+        net, group = fabric
+        socks = [MulticastSocket(net, h, group) for h in ("a", "b", "c")]
+        assert socks[0].sent_datagrams == 0
+        socks[0].send(b"x")
+        # flat mode: one unicast datagram per non-sender member
+        assert socks[0].sent_datagrams == 2
+        assert socks[1].sent_datagrams == 0
+
+    def test_tree_send_counts_one_datagram(self):
+        from repro.network.routing import MulticastFabric
+
+        sched = Scheduler()
+        net = Network(sched, seed=0)
+        fab = MulticastFabric(net)
+        fab.add_domain("d")
+        fab.add_router("r", "d")
+        for h in ("a", "b", "c"):
+            fab.attach_host(h, "r")
+        group = MulticastGroup(net, "239.1.2.3", 5000, fabric=fab)
+        socks = [MulticastSocket(net, h, group) for h in ("a", "b", "c")]
+        socks[0].send(b"x")
+        # tree mode: one physical datagram leaves the NIC per group send
+        assert socks[0].sent_datagrams == 1
+
+    def test_received_counter_exposed(self, fabric):
+        net, group = fabric
+        socks = [MulticastSocket(net, h, group) for h in ("a", "b")]
+        socks[0].send(b"x")
+        net.scheduler.run()
+        assert socks[1].received_datagrams == 1
+
+
+class TestFabricBackedGroup:
+    """MulticastGroup riding the routing fabric behind the same API."""
+
+    @pytest.fixture
+    def tree(self):
+        from repro.network.routing import MulticastFabric
+
+        sched = Scheduler()
+        net = Network(sched, seed=0)
+        fab = MulticastFabric(net)
+        fab.add_domain("core")
+        fab.add_router("r0", "core")
+        fab.add_router("r1", "core", parent="r0")
+        fab.add_router("r2", "core", parent="r0")
+        for h in ("a", "b"):
+            fab.attach_host(h, "r1")
+        for h in ("c", "d"):
+            fab.attach_host(h, "r2")
+        group = MulticastGroup(net, "239.1.2.3", 5000, fabric=fab)
+        return net, fab, group
+
+    def test_same_api_same_delivery(self, tree):
+        net, fab, group = tree
+        got = []
+        socks = [make_member(net, group, h, got) for h in ("a", "b", "c", "d")]
+        assert socks[0].send(b"ev") == 3
+        net.scheduler.run()
+        assert sorted(got) == [("b", b"ev"), ("c", b"ev"), ("d", b"ev")]
+
+    def test_leave_prunes_tree(self, tree):
+        net, fab, group = tree
+        socks = [MulticastSocket(net, h, group) for h in ("a", "b", "c", "d")]
+        before = fab.group_edges("239.1.2.3")
+        for s in socks[2:]:
+            s.leave()
+        after = fab.group_edges("239.1.2.3")
+        assert frozenset(("c", "r2")) in before
+        assert frozenset(("c", "r2")) not in after
+        assert len(after) < len(before)
+        assert fab.prunes > 0
+
+    def test_two_sockets_one_host_refcounted(self, tree):
+        net, fab, group = tree
+        s1 = MulticastSocket(net, "a", group)
+        s2 = MulticastSocket(net, "a", group)
+        MulticastSocket(net, "c", group)
+        s1.leave()
+        # "a" still has a live socket: its access edge must survive
+        assert frozenset(("a", "r1")) in fab.group_edges("239.1.2.3")
+        s2.leave()
+        assert frozenset(("a", "r1")) not in fab.group_edges("239.1.2.3")

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.network.clock import Scheduler
-from repro.network.simnet import Link, Network, NetworkError, Packet
+from repro.network.simnet import (
+    CastPlan,
+    Link,
+    LruCache,
+    Network,
+    NetworkError,
+    Packet,
+)
 
 
 @pytest.fixture
@@ -158,6 +165,195 @@ class TestDelivery:
         link = net.link("a", "b")
         assert link.tx_octets == pkt.size
         assert link.delivered_packets == 1
+
+
+class TestFifoUnderJitter:
+    """Regression: per-link FIFO must survive per-packet jitter draws.
+
+    Jitter used to be sampled independently per packet with no ordering
+    constraint, so a later packet on the same link direction could land
+    before an earlier one — breaking the FIFO promise RTP reassembly
+    depends on.  ``Link.enqueue`` now clamps per-direction arrivals
+    non-decreasing.
+    """
+
+    def _burst_order(self, jitter, n=200, seed=11):
+        sched = Scheduler()
+        net = Network(sched, seed=seed)
+        net.add_node("x")
+        net.add_node("y")
+        # jitter dwarfs both latency and per-packet serialization gap, the
+        # regime where independent draws reordered nearly every burst
+        net.add_link("x", "y", latency=0.0001, jitter=jitter, bandwidth=1e9)
+        got = []
+        net.node("y").bind(9, lambda p: got.append(p.payload))
+        for i in range(n):
+            net.send(Packet("x", 1, "y", 9, i.to_bytes(4, "big")))
+        sched.run()
+        return [int.from_bytes(b, "big") for b in got]
+
+    def test_high_jitter_burst_stays_in_order(self):
+        seqs = self._burst_order(jitter=0.05)
+        assert seqs == sorted(seqs)
+        assert len(seqs) == 200
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_in_order_across_seeds(self, seed):
+        seqs = self._burst_order(jitter=0.01, n=50, seed=seed)
+        assert seqs == sorted(seqs)
+
+    def test_arrival_clock_is_per_direction(self):
+        """Opposite directions keep independent clamps (full duplex)."""
+        link = Link("x", "y", latency=0.001, jitter=0.01)
+        rng = np.random.default_rng(5)
+        fwd = [link.enqueue("x", 0.0, 100, rng) for _ in range(5)]
+        rev = link.enqueue("y", 0.0, 100, rng)
+        assert fwd == sorted(fwd)
+        # the reverse direction is not forced after the forward clamp
+        assert rev < fwd[-1]
+
+
+class TestLruCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_eviction_order_is_lru(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b", the stalest
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_hit_miss_counters(self):
+        cache = LruCache(4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.get("absent") is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_route_cache_bounded(self):
+        """The network's route cache evicts instead of growing forever."""
+        sched = Scheduler()
+        net = Network(sched, seed=0, route_cache_size=4)
+        hosts = [f"h{i}" for i in range(6)]
+        net.add_node("hub")
+        for h in hosts:
+            net.add_node(h)
+            net.add_link(h, "hub")
+        for h in hosts[1:]:
+            net.route(hosts[0], h)
+        assert len(net._route_cache) <= 4
+        assert net._route_cache.evictions >= 1
+
+    def test_unroutable_none_is_cached(self, net):
+        net.add_node("island")
+        assert net.route("a", "island") is None
+        misses = net._route_cache.misses
+        assert net.route("a", "island") is None  # cached None, not re-Dijkstra
+        assert net._route_cache.misses == misses
+
+
+class TestCast:
+    """Single-copy tree replication via :meth:`Network.cast`."""
+
+    @pytest.fixture
+    def star(self):
+        """root -- relay -- {m1, m2, m3}: one shared uplink, 3 leaves."""
+        sched = Scheduler()
+        net = Network(sched, seed=2)
+        for n in ("root", "relay", "m1", "m2", "m3"):
+            net.add_node(n)
+        net.add_link("root", "relay", latency=0.001)
+        for m in ("m1", "m2", "m3"):
+            net.add_link("relay", m, latency=0.001)
+        plan = CastPlan(
+            "root",
+            (("root", "relay"), ("relay", "m1"), ("relay", "m2"), ("relay", "m3")),
+        )
+        return net, plan
+
+    def test_single_copy_per_edge(self, star):
+        net, plan = star
+        got = []
+        for m in ("m1", "m2", "m3"):
+            net.node(m).bind(9, lambda p, m=m: got.append(m))
+        n = net.cast(
+            Packet("root", 1, "*", 9, b"x"), plan, [(m, 9) for m in ("m1", "m2", "m3")]
+        )
+        net.scheduler.run()
+        assert n == 3
+        assert sorted(got) == ["m1", "m2", "m3"]
+        # 4 tree edges, not 3 members x 2-hop paths = 6
+        assert net.packets_transmitted == 4
+
+    def test_unicast_transmissions_scale_with_members(self, star):
+        net, _ = star
+        for m in ("m1", "m2", "m3"):
+            net.send(Packet("root", 1, m, 9, b"x"))
+        assert net.packets_transmitted == 6
+
+    def test_counter_conservation(self, star):
+        net, plan = star
+        net.cast(Packet("root", 1, "*", 9, b"x"), plan, [("m1", 9), ("m2", 9)])
+        assert net.packets_sent == 2
+        assert (
+            net.packets_sent
+            == net.packets_delivered + net.packets_dropped + net.packets_duplicated
+        )
+
+    def test_down_edge_severs_subtree(self, star):
+        net, plan = star
+        net.set_link_up("root", "relay", False)
+        n = net.cast(
+            Packet("root", 1, "*", 9, b"x"), plan, [(m, 9) for m in ("m1", "m2", "m3")]
+        )
+        assert n == 0
+        assert net.packets_dropped == 3
+        assert net.packets_transmitted == 0
+        assert (
+            net.packets_sent
+            == net.packets_delivered + net.packets_dropped + net.packets_duplicated
+        )
+
+    def test_loopback_target_at_root(self, star):
+        net, plan = star
+        got = []
+        net.node("root").bind(9, lambda p: got.append(p.payload))
+        n = net.cast(Packet("root", 1, "*", 9, b"me"), plan, [("root", 9)])
+        net.scheduler.run()
+        assert n == 1
+        assert got == [b"me"]
+
+    def test_shared_link_serializes_once(self, star):
+        """The uplink is billed one packet per cast, not one per member."""
+        net, plan = star
+        size = Packet("root", 1, "*", 9, b"x").size
+        net.cast(
+            Packet("root", 1, "*", 9, b"x"), plan, [(m, 9) for m in ("m1", "m2", "m3")]
+        )
+        assert net.link("root", "relay").tx_octets == size
+
+
+class TestTopologyListeners:
+    def test_listener_sees_add_remove_flap(self, net):
+        events = []
+        net.add_topology_listener(lambda a, b, up: events.append((a, b, up)))
+        net.add_link("b", "d")
+        net.set_link_up("b", "d", False)
+        net.set_link_up("b", "d", False)  # idempotent: no second event
+        net.set_link_up("b", "d", True)
+        net.remove_link("b", "d")
+        assert events == [
+            ("b", "d", True),
+            ("b", "d", False),
+            ("b", "d", True),
+            ("b", "d", False),
+        ]
 
 
 class TestJitter:
